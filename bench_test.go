@@ -1,0 +1,515 @@
+package mawilab
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section, plus component micro-benches and the
+// ablations called out in DESIGN.md. Figure benches run a scaled-down
+// experiment per iteration and report the headline quantity as a custom
+// metric, so `go test -bench=.` both times the harness and validates the
+// reproduced shape; cmd/experiments prints the full series.
+
+import (
+	"testing"
+	"time"
+
+	"mawilab/internal/apriori"
+	"mawilab/internal/core"
+	"mawilab/internal/detectors/suite"
+	"mawilab/internal/eval"
+	"mawilab/internal/graphx"
+	"mawilab/internal/heuristics"
+	"mawilab/internal/mawigen"
+	"mawilab/internal/stats"
+	"mawilab/internal/trace"
+)
+
+// benchArchive returns a reduced-scale archive for bounded bench times.
+func benchArchive() *mawigen.Archive {
+	arch := mawigen.NewArchive(2010)
+	arch.Duration = 45
+	arch.BaseRate = 250
+	return arch
+}
+
+func benchDates(n, stepDays int) []time.Time {
+	out := make([]time.Time, n)
+	d := time.Date(2004, 4, 5, 0, 0, 0, 0, time.UTC)
+	for i := range out {
+		out[i] = d.AddDate(0, 0, i*stepDays)
+	}
+	return out
+}
+
+// --- Table 1 -------------------------------------------------------------
+
+// BenchmarkTable1 measures the heuristics classifying every community of an
+// archive day.
+func BenchmarkTable1(b *testing.B) {
+	day := benchArchive().Day(time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC))
+	l, err := NewPipeline().Run(day.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attacks := 0
+		for _, rep := range l.Reports {
+			c := &l.Result.Communities[rep.Community]
+			cls, _ := heuristics.ClassifyPackets(day.Trace, c.Traffic.Packets)
+			if cls == heuristics.Attack {
+				attacks++
+			}
+		}
+		if attacks == 0 {
+			b.Fatal("no attacks classified on a Sasser-era day")
+		}
+	}
+}
+
+// --- Figure benches ------------------------------------------------------
+
+// BenchmarkFig3 regenerates the similarity-estimator panels (3 granularities).
+func BenchmarkFig3(b *testing.B) {
+	arch := benchArchive()
+	dets := suite.Standard()
+	dates := benchDates(2, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Fig3(arch, dets, dates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.SinglesCDF) != 3 {
+			b.Fatal("missing granularity series")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates rule metrics vs community size.
+func BenchmarkFig4(b *testing.B) {
+	arch := benchArchive()
+	dets := suite.Standard()
+	dates := benchDates(2, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Fig4(arch, dets, dates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Support.Points) == 0 {
+			b.Fatal("empty fig4")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the community-landscape buckets.
+func BenchmarkFig5(b *testing.B) {
+	arch := benchArchive()
+	dets := suite.Standard()
+	dates := benchDates(2, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buckets, err := eval.Fig5(arch, dets, dates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(buckets) == 0 {
+			b.Fatal("no buckets")
+		}
+	}
+}
+
+// benchRatios runs the combiner pipeline once for the Fig 6-10 benches.
+func benchRatios(b *testing.B, nDays int) ([]eval.DayRatios, []*eval.DayResult) {
+	b.Helper()
+	runner := eval.NewRunner(benchArchive(), suite.Standard())
+	ratios, days, err := eval.RunRatios(runner, benchDates(nDays, 45))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ratios, days
+}
+
+// BenchmarkFig6 regenerates the attack-ratio PDFs and reports the mean
+// SCANN accepted attack ratio as a metric (paper: SCANN is the best
+// strategy for accepted communities).
+func BenchmarkFig6(b *testing.B) {
+	ratios, _ := benchRatios(b, 3)
+	b.ResetTimer()
+	var scannMean float64
+	for i := 0; i < b.N; i++ {
+		acc, rej, per := eval.Fig6(ratios)
+		if len(acc) == 0 || len(rej) == 0 || len(per) == 0 {
+			b.Fatal("missing fig6 series")
+		}
+		var vals []float64
+		for _, dr := range ratios {
+			vals = append(vals, dr.Accepted["SCANN"])
+		}
+		scannMean = stats.Mean(vals)
+	}
+	b.ReportMetric(scannMean, "scann_acc_ratio")
+}
+
+// BenchmarkFig7 regenerates the attack-ratio time series.
+func BenchmarkFig7(b *testing.B) {
+	ratios, _ := benchRatios(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, rej := eval.Fig7(ratios)
+		if len(acc) == 0 || len(rej) == 0 {
+			b.Fatal("missing fig7 series")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the gain/cost decomposition for the three
+// highlighted detectors.
+func BenchmarkFig8(b *testing.B) {
+	_, days := benchRatios(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, det := range []string{"gamma", "hough", "kl"} {
+			pts := eval.Fig8(days, "SCANN", det)
+			if len(pts) == 0 {
+				b.Fatal("no fig8 points")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the accepted-Attack breakdown and reports the
+// SCANN-to-best-detector ratio (paper headline: ≈2× the most accurate
+// detector).
+func BenchmarkFig9(b *testing.B) {
+	_, days := benchRatios(b, 3)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := eval.Fig9(days, "SCANN")
+		scann, best := 0, 0
+		for _, r := range rows {
+			if r.Name == "SCANN" {
+				scann = r.Total
+			} else if r.Total > best {
+				best = r.Total
+			}
+		}
+		if best > 0 {
+			ratio = float64(scann) / float64(best)
+		}
+	}
+	b.ReportMetric(ratio, "scann_vs_best")
+}
+
+// BenchmarkFig10 regenerates the relative-distance PDFs.
+func BenchmarkFig10(b *testing.B) {
+	_, days := benchRatios(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := eval.Fig10(days, "SCANN")
+		if len(series) != 3 {
+			b.Fatal("fig10 classes missing")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the SCANN gain/cost quadrants.
+func BenchmarkTable2(b *testing.B) {
+	_, days := benchRatios(b, 3)
+	b.ResetTimer()
+	var gainAcc float64
+	for i := 0; i < b.N; i++ {
+		gc := eval.Table2(days, "SCANN")
+		gainAcc = float64(gc.GainAcc)
+	}
+	b.ReportMetric(gainAcc, "gain_acc")
+}
+
+// --- Component benches ---------------------------------------------------
+
+// BenchmarkGenerateDay measures synthetic archive-day generation.
+func BenchmarkGenerateDay(b *testing.B) {
+	arch := benchArchive()
+	d := time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := arch.Day(d.AddDate(0, 0, i%300))
+		if res.Trace.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// benchTrace builds one fixed trace for detector benches.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	return benchArchive().Day(time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC)).Trace
+}
+
+// BenchmarkDetectors times each detector's optimal configuration.
+func BenchmarkDetectors(b *testing.B) {
+	tr := benchTrace(b)
+	for _, d := range suite.Standard() {
+		d := d
+		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Detect(tr, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimate times the similarity estimator on a full ensemble
+// output.
+func BenchmarkEstimate(b *testing.B) {
+	tr := benchTrace(b)
+	alarms, _, err := detectAllForBench(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultEstimatorConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Estimate(tr, alarms, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func detectAllForBench(tr *trace.Trace) ([]core.Alarm, map[string]int, error) {
+	dets := suite.Standard()
+	var alarms []core.Alarm
+	totals := map[string]int{}
+	for _, d := range dets {
+		totals[d.Name()] = d.NumConfigs()
+		for c := 0; c < d.NumConfigs(); c++ {
+			out, err := d.Detect(tr, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			alarms = append(alarms, out...)
+		}
+	}
+	return alarms, totals, nil
+}
+
+// BenchmarkSCANN times the SCANN classification alone.
+func BenchmarkSCANN(b *testing.B) {
+	tr := benchTrace(b)
+	alarms, _, err := detectAllForBench(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Estimate(tr, alarms, core.DefaultEstimatorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewSCANN()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Classify(res, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLouvain times community mining on a planted-partition graph.
+func BenchmarkLouvain(b *testing.B) {
+	g := graphx.New(400)
+	// 20 groups of 20, dense inside.
+	for grp := 0; grp < 20; grp++ {
+		base := grp * 20
+		for i := 0; i < 20; i++ {
+			for j := i + 1; j < 20; j++ {
+				if (i+j+grp)%3 == 0 {
+					g.AddEdge(base+i, base+j, 1)
+				}
+			}
+		}
+		if grp > 0 {
+			g.AddEdge(base, base-1, 0.1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm := g.Louvain()
+		if len(comm) != 400 {
+			b.Fatal("bad assignment")
+		}
+	}
+}
+
+// BenchmarkApriori times rule mining over a realistic community.
+func BenchmarkApriori(b *testing.B) {
+	tr := benchTrace(b)
+	idx := tr.FlowIndex()
+	txs := make([]apriori.Transaction, 0, len(idx))
+	for k := range idx {
+		txs = append(txs, apriori.FromFlow(k))
+		if len(txs) == 2000 {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules := apriori.Mine(txs, 0.2)
+		_ = apriori.Maximal(rules)
+	}
+}
+
+// BenchmarkPipelineDay times the complete pipeline on one archive day.
+func BenchmarkPipelineDay(b *testing.B) {
+	arch := benchArchive()
+	p := NewPipeline()
+	d := time.Date(2005, 3, 7, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day := arch.Day(d)
+		if _, err := p.Run(day.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md) ----------------------------------------------
+
+// BenchmarkAblationSimilarity compares the three similarity measures: the
+// paper retains Simpson because containment across granularities must score
+// 1. The single-community count is reported per measure.
+func BenchmarkAblationSimilarity(b *testing.B) {
+	tr := benchTrace(b)
+	alarms, _, err := detectAllForBench(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []core.Measure{core.Simpson, core.Jaccard, core.Constant} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			cfg := core.DefaultEstimatorConfig()
+			cfg.Measure = m
+			var singles float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Estimate(tr, alarms, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				singles = float64(res.SingleCommunities())
+			}
+			b.ReportMetric(singles, "singles")
+		})
+	}
+}
+
+// BenchmarkAblationCommunities compares Louvain against connected
+// components; components merge everything reachable, losing small dense
+// groups (community count reported).
+func BenchmarkAblationCommunities(b *testing.B) {
+	tr := benchTrace(b)
+	alarms, _, err := detectAllForBench(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, algo := range []core.CommunityAlgo{core.Louvain, core.ConnectedComponents} {
+		algo := algo
+		name := "louvain"
+		if algo == core.ConnectedComponents {
+			name = "components"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultEstimatorConfig()
+			cfg.Algo = algo
+			var n float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Estimate(tr, alarms, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = float64(len(res.Communities))
+			}
+			b.ReportMetric(n, "communities")
+		})
+	}
+}
+
+// BenchmarkAblationGranularity compares the three traffic granularities
+// (paper Fig 3: flows relate more alarms than packets).
+func BenchmarkAblationGranularity(b *testing.B) {
+	tr := benchTrace(b)
+	alarms, _, err := detectAllForBench(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range []trace.Granularity{trace.GranPacket, trace.GranUniFlow, trace.GranBiFlow} {
+		g := g
+		b.Run(g.String(), func(b *testing.B) {
+			cfg := core.DefaultEstimatorConfig()
+			cfg.Granularity = g
+			var singles float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Estimate(tr, alarms, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				singles = float64(res.SingleCommunities())
+			}
+			b.ReportMetric(singles, "singles")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the Suspicious/Notice relative-distance
+// boundary of §4.2.3/§5 and reports how many rejected communities fall in
+// the Suspicious band at each setting.
+func BenchmarkAblationThreshold(b *testing.B) {
+	tr := benchTrace(b)
+	alarms, totals, err := detectAllForBench(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Estimate(tr, alarms, core.DefaultEstimatorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewSCANN().Classify(res, res.Confidences(totals))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, th := range []float64{0.25, 0.5, 1.0} {
+		th := th
+		b.Run(thName(th), func(b *testing.B) {
+			var suspicious float64
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, d := range dec {
+					if !d.Accepted && d.RelDistance <= th {
+						n++
+					}
+				}
+				suspicious = float64(n)
+			}
+			b.ReportMetric(suspicious, "suspicious")
+		})
+	}
+}
+
+func thName(th float64) string {
+	switch th {
+	case 0.25:
+		return "th=0.25"
+	case 0.5:
+		return "th=0.50"
+	default:
+		return "th=1.00"
+	}
+}
+
+// BenchmarkCondorcet validates §2.2.1's majority-vote background math.
+func BenchmarkCondorcet(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		p = core.CondorcetMajorityProbability(25, 0.7)
+	}
+	b.ReportMetric(p, "p_maj_25_0.7")
+}

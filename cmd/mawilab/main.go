@@ -1,0 +1,113 @@
+// Command mawilab runs the full MAWILab labeling pipeline on a trace and
+// emits the label database as CSV on stdout — the offline analogue of the
+// daily-updated MAWILab web database (§5).
+//
+// Usage:
+//
+//	mawilab -in day.pcap                       # label a pcap trace
+//	mawilab -date 2004-05-10                   # generate + label an archive day
+//	mawilab -date 2004-05-10 -strategy average # compare strategies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mawilab"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input pcap path (mutually exclusive with -date)")
+		dateStr  = flag.String("date", "", "archive date YYYY-MM-DD to generate and label")
+		seed     = flag.Int64("seed", 1, "archive seed for -date mode")
+		strategy = flag.String("strategy", "SCANN", "combination strategy: SCANN, average, minimum, maximum")
+		gran     = flag.String("granularity", "uniflow", "traffic granularity: packet, uniflow, biflow")
+		format   = flag.String("format", "csv", "output format: csv or admd (MAWILab XML)")
+		verbose  = flag.Bool("v", false, "print per-community detail to stderr")
+	)
+	flag.Parse()
+
+	var tr *mawilab.Trace
+	switch {
+	case *in != "" && *dateStr != "":
+		fatal("use either -in or -date, not both")
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		tr, err = mawilab.ReadPcap(f)
+		if err != nil {
+			fatal("reading pcap: %v", err)
+		}
+	case *dateStr != "":
+		date, err := time.Parse("2006-01-02", *dateStr)
+		if err != nil {
+			fatal("bad -date: %v", err)
+		}
+		tr = mawilab.NewArchive(*seed).Day(date).Trace
+	default:
+		fatal("one of -in or -date is required")
+	}
+
+	p := mawilab.NewPipeline()
+	switch *strategy {
+	case "SCANN", "scann":
+		p.Strategy = mawilab.SCANN()
+	case "average":
+		p.Strategy = mawilab.Average()
+	case "minimum":
+		p.Strategy = mawilab.Minimum()
+	case "maximum":
+		p.Strategy = mawilab.Maximum()
+	default:
+		fatal("unknown strategy %q", *strategy)
+	}
+	switch *gran {
+	case "packet":
+		p.Estimator.Granularity = mawilab.GranPacket
+	case "uniflow":
+		p.Estimator.Granularity = mawilab.GranUniFlow
+	case "biflow":
+		p.Estimator.Granularity = mawilab.GranBiFlow
+	default:
+		fatal("unknown granularity %q", *gran)
+	}
+
+	labeling, err := p.Run(tr)
+	if err != nil {
+		fatal("pipeline: %v", err)
+	}
+	if *verbose {
+		for _, rep := range labeling.Reports {
+			fmt.Fprintln(os.Stderr, rep.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mawilab: %d alarms, %d communities, %d anomalous\n",
+		len(labeling.Alarms), len(labeling.Reports), len(labeling.Anomalies()))
+	switch *format {
+	case "csv":
+		if err := labeling.WriteCSV(os.Stdout); err != nil {
+			fatal("writing csv: %v", err)
+		}
+	case "admd":
+		name := *in
+		if name == "" {
+			name = *dateStr
+		}
+		if err := labeling.WriteADMD(os.Stdout, name, tr); err != nil {
+			fatal("writing admd: %v", err)
+		}
+	default:
+		fatal("unknown format %q", *format)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mawilab: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Wormoutbreak reproduces the §4.2.2 narrative: during the Blaster and
+// Sasser outbreaks the traffic changes so much that the detectors disagree,
+// the combiner misses more attacks (higher rejected attack ratio), and no
+// single detector can be trusted either. This example tracks the four
+// strategies across the Sasser release and shows the disagreement.
+//
+// Run with:
+//
+//	go run ./examples/wormoutbreak
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mawilab"
+	"mawilab/internal/detectors/suite"
+	"mawilab/internal/eval"
+	"mawilab/internal/mawigen"
+)
+
+func main() {
+	archive := mawigen.NewArchive(7)
+	runner := eval.NewRunner(archive, suite.Standard())
+
+	// Four weeks before the Sasser release, then the outbreak months.
+	dates := []time.Time{
+		mawilab.Date(2004, time.March, 1),
+		mawilab.Date(2004, time.April, 5),
+		mawilab.Date(2004, time.May, 3),  // outbreak
+		mawilab.Date(2004, time.May, 17), // peak
+		mawilab.Date(2004, time.June, 7),
+		mawilab.Date(2004, time.July, 5),
+	}
+
+	fmt.Println("attack ratio of accepted (A) and rejected (R) communities per strategy:")
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n", "date", "worm pkts", "avg A/R", "min A/R", "max A/R", "SCANN A/R")
+	for _, date := range dates {
+		day, err := runner.Day(date)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wormPkts := 0
+		for _, ev := range day.Truth {
+			if ev.Kind == mawigen.KindWormSasser {
+				wormPkts += ev.Packets
+			}
+		}
+		row := fmt.Sprintf("%-12s %10d", date.Format("2006-01-02"), wormPkts)
+		for _, s := range []string{"average", "minimum", "maximum", "SCANN"} {
+			dec := day.Decisions[s]
+			accRatio := eval.AttackRatio(day.Reports, func(i int) bool { return dec[i].Accepted })
+			rejRatio := eval.AttackRatio(day.Reports, func(i int) bool { return !dec[i].Accepted })
+			row += fmt.Sprintf(" %5.2f/%4.2f", accRatio, rejRatio)
+		}
+		fmt.Println(row)
+	}
+
+	// Detector disagreement on the worst outbreak day: how many
+	// communities are seen by one detector only?
+	day, err := runner.Day(mawilab.Date(2004, time.May, 17))
+	if err != nil {
+		log.Fatal(err)
+	}
+	soloByDetector := map[string]int{}
+	multi := 0
+	for i := range day.Result.Communities {
+		dets := day.Result.DetectorsIn(&day.Result.Communities[i])
+		if len(dets) == 1 {
+			soloByDetector[dets[0]]++
+		} else {
+			multi++
+		}
+	}
+	fmt.Printf("\n2004-05-17: %d communities reported by multiple detectors\n", multi)
+	fmt.Println("single-detector communities (the disagreement the outbreak causes):")
+	for det, n := range soloByDetector {
+		fmt.Printf("  %-8s %d\n", det, n)
+	}
+}

@@ -1,0 +1,207 @@
+// Package admd encodes and decodes labelings in the Anomaly Description
+// Meta Data (admd) XML dialect, the format in which the real MAWILab
+// database publishes its daily labels. Each anomaly carries its taxonomy
+// label, heuristic value, time span, and one or more traffic filters
+// (slices) in the 4-tuple language of the paper's rules.
+package admd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mawilab/internal/core"
+	"mawilab/internal/trace"
+)
+
+// Document is the root <admd:document> element.
+type Document struct {
+	XMLName   xml.Name  `xml:"document"`
+	Namespace string    `xml:"xmlns:admd,attr"`
+	Trace     string    `xml:"trace,attr"`
+	Anomalies []Anomaly `xml:"anomaly"`
+}
+
+// Anomaly is one labeled community.
+type Anomaly struct {
+	// Type is the taxonomy label: anomalous, suspicious, or notice.
+	Type string `xml:"type,attr"`
+	// Value is the heuristic category (Table 1), lowercased.
+	Value string `xml:"value,attr"`
+	// Community is the community index in the labeling.
+	Community int `xml:"community,attr"`
+	// Score is the combiner score (SCANN: d_rej/(d_acc+d_rej)).
+	Score float64 `xml:"score,attr"`
+	From  TimeRef `xml:"from"`
+	To    TimeRef `xml:"to"`
+	// Slices are the traffic filters describing the anomaly.
+	Slices []Slice `xml:"slice"`
+}
+
+// TimeRef is a second/microsecond timestamp pair.
+type TimeRef struct {
+	Sec  int64 `xml:"sec,attr"`
+	Usec int64 `xml:"usec,attr"`
+}
+
+// Slice is one 4-tuple filter. Empty attributes mean wildcards.
+type Slice struct {
+	SrcIP   string `xml:"src_ip,attr,omitempty"`
+	SrcPort string `xml:"src_port,attr,omitempty"`
+	DstIP   string `xml:"dst_ip,attr,omitempty"`
+	DstPort string `xml:"dst_port,attr,omitempty"`
+	Proto   string `xml:"proto,attr,omitempty"`
+}
+
+// namespace is the admd namespace URI used by MAWILab documents.
+const namespace = "http://www.fukuda-lab.org/mawilab/admd"
+
+// Encode writes the labeling as an admd XML document. Benign traffic is
+// implicit (anything not covered), matching the published database.
+func Encode(w io.Writer, traceName string, tr *trace.Trace, reports []core.CommunityReport) error {
+	doc := Document{Namespace: namespace, Trace: traceName}
+	for _, rep := range reports {
+		if rep.Label == core.Benign {
+			continue
+		}
+		a := Anomaly{
+			Type:      rep.Label.String(),
+			Value:     rep.Category.String(),
+			Community: rep.Community,
+			Score:     rep.Decision.Score,
+		}
+		// Time span: bounds of the community's packets.
+		if rep.Packets > 0 && tr != nil {
+			a.From, a.To = spanOf(tr, rep)
+		}
+		for _, rule := range rep.Rules {
+			a.Slices = append(a.Slices, sliceFromRule(rule.String()))
+		}
+		if len(a.Slices) == 0 {
+			a.Slices = []Slice{{}}
+		}
+		doc.Anomalies = append(doc.Anomalies, a)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("admd: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// spanOf is a light re-derivation of the community's time bounds from its
+// report (first/last matched packet of the first rule's coverage is not
+// stored on the report, so the span covers the whole trace segment the
+// community's packets lie in — callers holding the Labeling can compute a
+// tighter span).
+func spanOf(tr *trace.Trace, rep core.CommunityReport) (TimeRef, TimeRef) {
+	// Reports do not retain packet indices; use trace bounds.
+	from := TimeRef{Sec: 0, Usec: 0}
+	dur := tr.Duration()
+	to := TimeRef{Sec: int64(dur), Usec: int64((dur - float64(int64(dur))) * 1e6)}
+	return from, to
+}
+
+// sliceFromRule parses the paper's "<src, sport, dst, dport>" rendering.
+func sliceFromRule(rule string) Slice {
+	var s Slice
+	if len(rule) < 2 || rule[0] != '<' || rule[len(rule)-1] != '>' {
+		return s
+	}
+	fields := splitTuple(rule[1 : len(rule)-1])
+	if len(fields) != 4 {
+		return s
+	}
+	set := func(dst *string, v string) {
+		if v != "*" {
+			*dst = v
+		}
+	}
+	set(&s.SrcIP, fields[0])
+	set(&s.SrcPort, fields[1])
+	set(&s.DstIP, fields[2])
+	set(&s.DstPort, fields[3])
+	return s
+}
+
+func splitTuple(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			f := s[start:min(i, len(s))]
+			for len(f) > 0 && f[0] == ' ' {
+				f = f[1:]
+			}
+			for len(f) > 0 && f[len(f)-1] == ' ' {
+				f = f[:len(f)-1]
+			}
+			out = append(out, f)
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Decode reads an admd document back.
+func Decode(r io.Reader) (*Document, error) {
+	var doc Document
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("admd: decode: %w", err)
+	}
+	return &doc, nil
+}
+
+// Filters converts an anomaly's slices back into traffic filters, so a
+// decoded database can drive the similarity estimator (e.g. to benchmark a
+// new detector against published labels).
+func (a *Anomaly) Filters() ([]trace.Filter, error) {
+	var out []trace.Filter
+	for _, s := range a.Slices {
+		f := trace.NewFilter()
+		if s.SrcIP != "" {
+			ip, err := trace.ParseIPv4(s.SrcIP)
+			if err != nil {
+				return nil, fmt.Errorf("admd: slice src_ip: %w", err)
+			}
+			f = f.WithSrc(ip)
+		}
+		if s.DstIP != "" {
+			ip, err := trace.ParseIPv4(s.DstIP)
+			if err != nil {
+				return nil, fmt.Errorf("admd: slice dst_ip: %w", err)
+			}
+			f = f.WithDst(ip)
+		}
+		if s.SrcPort != "" {
+			p, err := strconv.ParseUint(s.SrcPort, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("admd: slice src_port: %w", err)
+			}
+			f = f.WithSrcPort(uint16(p))
+		}
+		if s.DstPort != "" {
+			p, err := strconv.ParseUint(s.DstPort, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("admd: slice dst_port: %w", err)
+			}
+			f = f.WithDstPort(uint16(p))
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package admd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mawilab/internal/apriori"
+	"mawilab/internal/core"
+	"mawilab/internal/heuristics"
+	"mawilab/internal/trace"
+)
+
+func sampleReports() []core.CommunityReport {
+	rule := apriori.Rule{Items: []apriori.Item{
+		{Field: apriori.FieldSrcIP, Value: uint64(trace.MakeIPv4(203, 0, 1, 2))},
+		{Field: apriori.FieldDstPort, Value: 445},
+	}}
+	return []core.CommunityReport{
+		{
+			Community: 0, Label: core.Anomalous,
+			Decision: core.Decision{Accepted: true, Score: 0.8},
+			Rules:    []apriori.Rule{rule},
+			Class:    heuristics.Attack, Category: heuristics.CatSMB,
+			Packets: 100, Flows: 50,
+		},
+		{
+			Community: 1, Label: core.Suspicious,
+			Decision: core.Decision{Score: 0.45, RelDistance: 0.2},
+			Class:    heuristics.Unknown, Category: heuristics.CatUnknown,
+			Packets: 10, Flows: 3,
+		},
+		{
+			Community: 2, Label: core.Benign, // must be omitted
+		},
+	}
+}
+
+func sampleTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "t"}
+	tr.Append(trace.Packet{TS: 0, Proto: trace.TCP, Len: 40})
+	tr.Append(trace.Packet{TS: 59.5e6, Proto: trace.TCP, Len: 40})
+	return tr
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, "2004-05-10", sampleTrace(), sampleReports()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `type="anomalous"`) || !strings.Contains(out, `type="suspicious"`) {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if strings.Contains(out, "benign") {
+		t.Error("benign communities must be implicit")
+	}
+	if !strings.Contains(out, `src_ip="203.0.1.2"`) || !strings.Contains(out, `dst_port="445"`) {
+		t.Errorf("slice fields missing:\n%s", out)
+	}
+
+	doc, err := Decode(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Trace != "2004-05-10" {
+		t.Errorf("trace attr = %q", doc.Trace)
+	}
+	if len(doc.Anomalies) != 2 {
+		t.Fatalf("anomalies = %d, want 2", len(doc.Anomalies))
+	}
+	a := doc.Anomalies[0]
+	if a.Type != "anomalous" || a.Value != "SMB" || a.Score != 0.8 {
+		t.Errorf("anomaly 0 = %+v", a)
+	}
+}
+
+func TestFiltersFromDecodedSlices(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, "x", sampleTrace(), sampleReports()); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters, err := doc.Anomalies[0].Filters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filters) != 1 {
+		t.Fatalf("filters = %d", len(filters))
+	}
+	f := filters[0]
+	if f.Src == nil || *f.Src != trace.MakeIPv4(203, 0, 1, 2) {
+		t.Errorf("src filter = %v", f)
+	}
+	if f.DstPort == nil || *f.DstPort != 445 {
+		t.Errorf("dst port filter = %v", f)
+	}
+	// The filter must match a packet of the anomaly and reject others.
+	hit := trace.Packet{Src: trace.MakeIPv4(203, 0, 1, 2), DstPort: 445, Proto: trace.TCP}
+	miss := trace.Packet{Src: trace.MakeIPv4(203, 0, 1, 3), DstPort: 445, Proto: trace.TCP}
+	if !f.Match(&hit) || f.Match(&miss) {
+		t.Error("round-tripped filter semantics wrong")
+	}
+}
+
+func TestFiltersErrors(t *testing.T) {
+	bad := Anomaly{Slices: []Slice{{SrcIP: "not-an-ip"}}}
+	if _, err := bad.Filters(); err == nil {
+		t.Error("bad src_ip accepted")
+	}
+	badPort := Anomaly{Slices: []Slice{{DstPort: "99999"}}}
+	if _, err := badPort.Filters(); err == nil {
+		t.Error("bad port accepted")
+	}
+}
+
+func TestSliceFromRuleMalformed(t *testing.T) {
+	if s := sliceFromRule("garbage"); s != (Slice{}) {
+		t.Errorf("malformed rule produced %+v", s)
+	}
+	if s := sliceFromRule("<a, b>"); s != (Slice{}) {
+		t.Errorf("short tuple produced %+v", s)
+	}
+}
+
+func TestAnomalyWithoutRulesGetsEmptySlice(t *testing.T) {
+	var buf bytes.Buffer
+	reports := []core.CommunityReport{{
+		Community: 0, Label: core.Notice,
+		Decision: core.Decision{RelDistance: 2},
+		Packets:  5,
+	}}
+	if err := Encode(&buf, "x", sampleTrace(), reports); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Anomalies[0].Slices) != 1 {
+		t.Error("rule-less anomaly should carry one wildcard slice")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not xml at all")); err == nil {
+		t.Error("garbage decoded")
+	}
+}

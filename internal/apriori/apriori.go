@@ -1,0 +1,350 @@
+// Package apriori implements the Apriori frequent-itemset algorithm
+// (Agrawal & Srikant, VLDB'94) with the paper's modification: the minimum
+// support s is expressed as a *percentage of the data* rather than an
+// absolute count (§4.1.1).
+//
+// Transactions here are traffic 4-tuples — source IP, source port,
+// destination IP, destination port — and the mined "rules" are the partial
+// 4-tuples (with wildcards) that describe the prominent trends of a
+// community's traffic, e.g. <IPA, 80, IPB, *>.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mawilab/internal/trace"
+)
+
+// Field identifies which header field an item constrains.
+type Field uint8
+
+// The four fields of the paper's rules, in rendering order.
+const (
+	FieldSrcIP Field = iota
+	FieldSrcPort
+	FieldDstIP
+	FieldDstPort
+	numFields
+)
+
+// String names the field.
+func (f Field) String() string {
+	switch f {
+	case FieldSrcIP:
+		return "srcIP"
+	case FieldSrcPort:
+		return "srcPort"
+	case FieldDstIP:
+		return "dstIP"
+	case FieldDstPort:
+		return "dstPort"
+	default:
+		return fmt.Sprintf("field(%d)", uint8(f))
+	}
+}
+
+// Item is one (field, value) constraint. IPs store the uint32 address,
+// ports the port number.
+type Item struct {
+	Field Field
+	Value uint64
+}
+
+// String renders the item, resolving IPs to dotted quads.
+func (it Item) String() string {
+	switch it.Field {
+	case FieldSrcIP, FieldDstIP:
+		return it.Field.String() + "=" + trace.IPv4(it.Value).String()
+	default:
+		return fmt.Sprintf("%s=%d", it.Field, it.Value)
+	}
+}
+
+// Transaction is the itemized form of one traffic unit (packet or flow):
+// up to one item per field.
+type Transaction []Item
+
+// FromFlow itemizes a flow key into the four 4-tuple items.
+func FromFlow(k trace.FlowKey) Transaction {
+	return Transaction{
+		{FieldSrcIP, uint64(k.Src)},
+		{FieldSrcPort, uint64(k.SrcPort)},
+		{FieldDstIP, uint64(k.Dst)},
+		{FieldDstPort, uint64(k.DstPort)},
+	}
+}
+
+// FromPacket itemizes a packet.
+func FromPacket(p *trace.Packet) Transaction { return FromFlow(p.Flow()) }
+
+// Rule is a frequent itemset: a partial 4-tuple with its support.
+type Rule struct {
+	Items   []Item  // sorted by Field, at most one per field
+	Count   int     // transactions containing all items
+	Support float64 // Count / len(transactions)
+}
+
+// Degree returns the number of constrained fields (the paper's "rule
+// degree", in [0,4]).
+func (r Rule) Degree() int { return len(r.Items) }
+
+// Matches reports whether the transaction contains every item of the rule.
+func (r Rule) Matches(tx Transaction) bool {
+	for _, it := range r.Items {
+		found := false
+		for _, t := range tx {
+			if t == it {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule in the paper's notation <srcIP, srcPort, dstIP,
+// dstPort> with * wildcards.
+func (r Rule) String() string {
+	parts := [numFields]string{"*", "*", "*", "*"}
+	for _, it := range r.Items {
+		switch it.Field {
+		case FieldSrcIP, FieldDstIP:
+			parts[it.Field] = trace.IPv4(it.Value).String()
+		default:
+			parts[it.Field] = fmt.Sprintf("%d", it.Value)
+		}
+	}
+	return "<" + strings.Join(parts[:], ", ") + ">"
+}
+
+// itemKey is a compact comparable form of an Item for map indexing.
+type itemKey struct {
+	field Field
+	value uint64
+}
+
+func key(it Item) itemKey { return itemKey{it.Field, it.Value} }
+
+// Mine returns every itemset whose support is at least minSupport (a
+// fraction in (0,1], e.g. 0.2 for the paper's s=20%). Rules come back
+// sorted by descending degree, then descending support, then lexical item
+// order, so results are deterministic.
+func Mine(txs []Transaction, minSupport float64) []Rule {
+	if len(txs) == 0 || minSupport <= 0 {
+		return nil
+	}
+	minCount := int(minSupport * float64(len(txs)))
+	if float64(minCount) < minSupport*float64(len(txs)) {
+		minCount++ // ceil
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// L1: frequent single items.
+	counts := make(map[itemKey]int)
+	for _, tx := range txs {
+		for _, it := range tx {
+			counts[key(it)]++
+		}
+	}
+	var frequent []itemset
+	var current []itemset
+	for k, c := range counts {
+		if c >= minCount {
+			current = append(current, itemset{items: []Item{{k.field, k.value}}, count: c})
+		}
+	}
+	sortSets(current)
+	frequent = append(frequent, current...)
+
+	// Iteratively join (k-1)-itemsets sharing a prefix, prune, count.
+	for level := 2; level <= int(numFields) && len(current) > 0; level++ {
+		var candidates [][]Item
+		for i := 0; i < len(current); i++ {
+			for j := i + 1; j < len(current); j++ {
+				a, b := current[i].items, current[j].items
+				if !samePrefix(a, b) {
+					continue
+				}
+				last := b[len(b)-1]
+				if last.Field == a[len(a)-1].Field {
+					continue // one item per field
+				}
+				cand := make([]Item, len(a)+1)
+				copy(cand, a)
+				cand[len(a)] = last
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		next := make([]itemset, 0, len(candidates))
+		for _, cand := range candidates {
+			c := countSupport(txs, cand)
+			if c >= minCount {
+				next = append(next, itemset{items: cand, count: c})
+			}
+		}
+		sortSets(next)
+		frequent = append(frequent, next...)
+		current = next
+	}
+
+	n := float64(len(txs))
+	rules := make([]Rule, len(frequent))
+	for i, s := range frequent {
+		rules[i] = Rule{Items: s.items, Count: s.count, Support: float64(s.count) / n}
+	}
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Degree() != rules[j].Degree() {
+			return rules[i].Degree() > rules[j].Degree()
+		}
+		if rules[i].Count != rules[j].Count {
+			return rules[i].Count > rules[j].Count
+		}
+		return lessItems(rules[i].Items, rules[j].Items)
+	})
+	return rules
+}
+
+// itemset is an internal candidate/frequent itemset with its count.
+type itemset struct {
+	items []Item
+	count int
+}
+
+func sortSets(sets []itemset) {
+	sort.SliceStable(sets, func(i, j int) bool { return lessItems(sets[i].items, sets[j].items) })
+}
+
+func lessItems(a, b []Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Field != b[i].Field {
+			return a[i].Field < b[i].Field
+		}
+		if a[i].Value != b[i].Value {
+			return a[i].Value < b[i].Value
+		}
+	}
+	return len(a) < len(b)
+}
+
+func samePrefix(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	// Join requires a strictly ordered pair of final items.
+	la, lb := a[len(a)-1], b[len(b)-1]
+	if la.Field != lb.Field {
+		return la.Field < lb.Field
+	}
+	return la.Value < lb.Value
+}
+
+func countSupport(txs []Transaction, items []Item) int {
+	c := 0
+	for _, tx := range txs {
+		ok := true
+		for _, it := range items {
+			found := false
+			for _, t := range tx {
+				if t == it {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			c++
+		}
+	}
+	return c
+}
+
+// Maximal filters rules down to the maximal frequent itemsets: those with
+// no frequent proper superset. These are the concise labels assigned to a
+// community (§5) — each anomalous traffic annotated with its most specific
+// rule.
+func Maximal(rules []Rule) []Rule {
+	var out []Rule
+	for i, r := range rules {
+		isMax := true
+		for j, s := range rules {
+			if i == j || len(s.Items) <= len(r.Items) {
+				continue
+			}
+			if containsAll(s.Items, r.Items) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func containsAll(super, sub []Item) bool {
+	for _, it := range sub {
+		found := false
+		for _, s := range super {
+			if s == it {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Coverage returns the fraction of transactions matched by at least one of
+// the rules — the paper's "rule support of a community".
+func Coverage(txs []Transaction, rules []Rule) float64 {
+	if len(txs) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, tx := range txs {
+		for _, r := range rules {
+			if r.Matches(tx) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(txs))
+}
+
+// MeanDegree returns the average number of items per rule — the paper's
+// "rule degree of a community". Zero when there are no rules, meaning the
+// miner failed to characterize the traffic.
+func MeanDegree(rules []Rule) float64 {
+	if len(rules) == 0 {
+		return 0
+	}
+	s := 0
+	for _, r := range rules {
+		s += r.Degree()
+	}
+	return float64(s) / float64(len(rules))
+}

@@ -1,0 +1,104 @@
+// Package core implements the paper's primary contribution: the graph-based
+// methodology that compares and combines the outputs of arbitrary anomaly
+// detectors (§2).
+//
+// The pipeline is: detectors emit Alarms (sets of traffic filters); the
+// traffic Extractor resolves each alarm to the traffic it designates at a
+// chosen granularity; the similarity Estimator builds a weighted graph of
+// alarms and mines communities; the Combiner classifies every community as
+// accepted (anomalous) or rejected using a combination strategy — average,
+// minimum, maximum, or SCANN; finally the labeler condenses each community
+// into concise association rules and a four-level taxonomy (Anomalous /
+// Suspicious / Notice / Benign).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mawilab/internal/trace"
+)
+
+// Alarm is one detector report: a set of traffic filters designating the
+// traffic the detector considers anomalous. Any annotation with at least a
+// time interval and one traffic feature can be expressed this way (§6),
+// which is what lets the similarity estimator compare detectors operating
+// at packet, host, flow or feature granularity.
+type Alarm struct {
+	// Detector is the reporting detector's name, e.g. "hough".
+	Detector string
+	// Config is the index of the detector's parameter set (0-based); the
+	// paper runs each detector under three tunings.
+	Config int
+	// Filters describe the designated traffic; a packet belongs to the
+	// alarm if it matches any filter (logical OR).
+	Filters []trace.Filter
+	// Score is an optional detector-specific magnitude, for diagnostics.
+	Score float64
+	// Note is an optional free-form annotation.
+	Note string
+}
+
+// ConfigKey identifies a detector configuration: one detector under one
+// parameter set.
+type ConfigKey struct {
+	Detector string
+	Config   int
+}
+
+// Key returns the alarm's configuration identity.
+func (a *Alarm) Key() ConfigKey { return ConfigKey{a.Detector, a.Config} }
+
+// String renders the configuration key like "hough/1".
+func (k ConfigKey) String() string { return fmt.Sprintf("%s/%d", k.Detector, k.Config) }
+
+// String renders the alarm compactly.
+func (a *Alarm) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s/%d]", a.Detector, a.Config)
+	for i, f := range a.Filters {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte(' ')
+		b.WriteString(f.String())
+		if i >= 2 && len(a.Filters) > 3 {
+			fmt.Fprintf(&b, " (+%d more)", len(a.Filters)-3)
+			break
+		}
+	}
+	return b.String()
+}
+
+// ConfigUniverse returns the sorted list of distinct configurations present
+// in a set of alarms, and the per-detector configuration counts.
+func ConfigUniverse(alarms []Alarm) (keys []ConfigKey, perDetector map[string]int) {
+	seen := make(map[ConfigKey]struct{})
+	perDetector = make(map[string]int)
+	for i := range alarms {
+		k := alarms[i].Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	sortConfigKeys(keys)
+	for _, k := range keys {
+		perDetector[k.Detector]++
+	}
+	return keys, perDetector
+}
+
+func sortConfigKeys(keys []ConfigKey) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			a, b := keys[j-1], keys[j]
+			if b.Detector < a.Detector || (b.Detector == a.Detector && b.Config < a.Config) {
+				keys[j-1], keys[j] = keys[j], keys[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// paperExampleResult reproduces Fig. 2: a community cex of five alarms
+// {A0, A1, B0, B1, B2} out of nine configurations (detectors A, B, C with
+// parameter sets 0,1,2). All five alarms designate the same traffic so they
+// cluster into one community.
+func paperExampleResult(t *testing.T) (*Result, map[string]int) {
+	t.Helper()
+	tr := twoEventTrace()
+	alarms := []Alarm{
+		scanAlarm("A", 0),
+		scanAlarm("A", 1),
+		scanAlarm("B", 0),
+		scanAlarm("B", 1),
+		scanAlarm("B", 2),
+	}
+	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 1 {
+		t.Fatalf("paper example should form one community, got %d", len(res.Communities))
+	}
+	totals := map[string]int{"A": 3, "B": 3, "C": 3}
+	return res, totals
+}
+
+func TestConfidenceScoresPaperExample(t *testing.T) {
+	// Fig. 2: ϕA = 2/3 ≈ 0.66, ϕB = 3/3 = 1.0, ϕC = 0/3 = 0.0.
+	res, totals := paperExampleResult(t)
+	conf := res.Confidences(totals)
+	scores := conf[0]
+	if math.Abs(scores["A"]-2.0/3.0) > 1e-12 {
+		t.Errorf("ϕA = %f, want 0.66", scores["A"])
+	}
+	if scores["B"] != 1.0 {
+		t.Errorf("ϕB = %f, want 1.0", scores["B"])
+	}
+	if scores["C"] != 0.0 {
+		t.Errorf("ϕC = %f, want 0.0", scores["C"])
+	}
+}
+
+func TestAverageStrategyPaperExample(t *testing.T) {
+	// §2.2.3: average = 5/9 > 0.5 → accepted.
+	res, totals := paperExampleResult(t)
+	conf := res.Confidences(totals)
+	dec, err := NewAverage().Classify(res, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec[0].Accepted {
+		t.Error("average should accept cex")
+	}
+	if math.Abs(dec[0].Score-5.0/9.0) > 1e-12 {
+		t.Errorf("µ = %f, want 5/9", dec[0].Score)
+	}
+}
+
+func TestMinimumStrategyPaperExample(t *testing.T) {
+	// §2.2.3: min = 0 → rejected.
+	res, totals := paperExampleResult(t)
+	conf := res.Confidences(totals)
+	dec, err := NewMinimum().Classify(res, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0].Accepted {
+		t.Error("minimum should reject cex")
+	}
+	if dec[0].Score != 0 {
+		t.Errorf("µ = %f, want 0", dec[0].Score)
+	}
+}
+
+func TestMaximumStrategyPaperExample(t *testing.T) {
+	// §2.2.3: max = 1 → accepted.
+	res, totals := paperExampleResult(t)
+	conf := res.Confidences(totals)
+	dec, err := NewMaximum().Classify(res, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec[0].Accepted {
+		t.Error("maximum should accept cex")
+	}
+	if dec[0].Score != 1 {
+		t.Errorf("µ = %f, want 1", dec[0].Score)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	res, totals := paperExampleResult(t)
+	conf := res.Confidences(totals)
+	dec, err := MajorityVote().Classify(res, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 of 3 detectors vote (A, B) → accepted.
+	if !dec[0].Accepted {
+		t.Error("majority of detectors voted; should accept")
+	}
+}
+
+func TestStrategyLengthMismatch(t *testing.T) {
+	res, _ := paperExampleResult(t)
+	for _, s := range []Strategy{NewAverage(), NewMinimum(), NewMaximum(), MajorityVote()} {
+		if _, err := s.Classify(res, nil); err == nil {
+			t.Errorf("%s accepted mismatched confidence table", s.Name())
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	names := map[string]Strategy{
+		"average": NewAverage(), "minimum": NewMinimum(),
+		"maximum": NewMaximum(), "majority": MajorityVote(), "SCANN": NewSCANN(),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestConfidenceEmptyTotals(t *testing.T) {
+	res, _ := paperExampleResult(t)
+	conf := res.Confidences(map[string]int{"A": 0})
+	if len(conf[0]) != 0 {
+		t.Error("zero-total detector should be skipped")
+	}
+}
+
+func TestCondorcetJuryTheorem(t *testing.T) {
+	// §2.2.1: p>0.5 → majority probability increases with L toward 1;
+	// p<0.5 → decreases toward 0; p=0.5 → 0.5 for odd L.
+	pGood3 := CondorcetMajorityProbability(3, 0.7)
+	pGood9 := CondorcetMajorityProbability(9, 0.7)
+	pGood25 := CondorcetMajorityProbability(25, 0.7)
+	if !(pGood3 < pGood9 && pGood9 < pGood25) {
+		t.Errorf("p=0.7 not increasing: %f %f %f", pGood3, pGood9, pGood25)
+	}
+	if pGood25 < 0.97 {
+		t.Errorf("P(25, 0.7) = %f, want → 1", pGood25)
+	}
+	pBad3 := CondorcetMajorityProbability(3, 0.3)
+	pBad25 := CondorcetMajorityProbability(25, 0.3)
+	if !(pBad25 < pBad3) {
+		t.Errorf("p=0.3 not decreasing: %f %f", pBad3, pBad25)
+	}
+	for _, l := range []int{1, 3, 5, 9} {
+		if p := CondorcetMajorityProbability(l, 0.5); math.Abs(p-0.5) > 1e-9 {
+			t.Errorf("P(%d, 0.5) = %f, want 0.5", l, p)
+		}
+	}
+	if CondorcetMajorityProbability(0, 0.9) != 0 {
+		t.Error("L=0 should be 0")
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+
+	"mawilab/internal/trace"
+)
+
+// twoEventTrace builds a trace with two disjoint anomalies plus background:
+// a port scan from scanner and a ping flood from pinger, with some unrelated
+// web traffic.
+func twoEventTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "two-events"}
+	scanner := trace.MakeIPv4(10, 9, 9, 9)
+	pinger := trace.MakeIPv4(10, 8, 8, 8)
+	victim := trace.MakeIPv4(10, 0, 1, 1)
+	ts := int64(0)
+	add := func(p trace.Packet) {
+		p.TS = ts
+		ts += 1000
+		tr.Append(p)
+	}
+	// Scan: scanner → many hosts on port 445.
+	for h := byte(1); h <= 40; h++ {
+		add(trace.Packet{Src: scanner, Dst: trace.MakeIPv4(10, 0, 2, h), SrcPort: 1024, DstPort: 445, Proto: trace.TCP, Flags: trace.SYN, Len: 40})
+	}
+	// Ping flood: pinger → victim.
+	for i := 0; i < 40; i++ {
+		add(trace.Packet{Src: pinger, Dst: victim, SrcPort: 8, DstPort: 0, Proto: trace.ICMP, Len: 64})
+	}
+	// Background web.
+	for h := byte(1); h <= 20; h++ {
+		add(trace.Packet{Src: trace.MakeIPv4(10, 1, 0, h), Dst: trace.MakeIPv4(10, 0, 3, 1), SrcPort: uint16(2000 + int(h)), DstPort: 80, Proto: trace.TCP, Flags: trace.ACK, Len: 500})
+	}
+	return tr
+}
+
+// scanAlarm reports the scanner host; pingAlarm the ping flood; variations
+// come from different "configs".
+func scanAlarm(det string, cfg int) Alarm {
+	return Alarm{Detector: det, Config: cfg, Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(10, 9, 9, 9)),
+	}}
+}
+
+func pingAlarm(det string, cfg int) Alarm {
+	return Alarm{Detector: det, Config: cfg, Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(10, 8, 8, 8)).WithProto(trace.ICMP),
+	}}
+}
+
+func TestEstimateGroupsSameTrafficAcrossDetectors(t *testing.T) {
+	tr := twoEventTrace()
+	alarms := []Alarm{
+		scanAlarm("hough", 0),
+		scanAlarm("gamma", 0),
+		pingAlarm("kl", 0),
+		pingAlarm("gamma", 1),
+	}
+	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 2 {
+		t.Fatalf("communities = %d, want 2 (scan group + ping group): %+v", len(res.Communities), res.Communities)
+	}
+	byAlarm := make(map[int]int) // alarm → community
+	for _, c := range res.Communities {
+		for _, ai := range c.Alarms {
+			byAlarm[ai] = c.ID
+		}
+	}
+	if byAlarm[0] != byAlarm[1] {
+		t.Error("two scan alarms should share a community")
+	}
+	if byAlarm[2] != byAlarm[3] {
+		t.Error("two ping alarms should share a community")
+	}
+	if byAlarm[0] == byAlarm[2] {
+		t.Error("scan and ping alarms must not merge")
+	}
+}
+
+func TestEstimateSimpsonContainment(t *testing.T) {
+	// A host alarm containing a flow alarm: Simpson weight must be 1.
+	tr := twoEventTrace()
+	host := scanAlarm("a", 0) // all 40 scan flows
+	oneDst := Alarm{Detector: "b", Config: 0, Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(10, 9, 9, 9)).WithDst(trace.MakeIPv4(10, 0, 2, 5)),
+	}}
+	res, err := Estimate(tr, []Alarm{host, oneDst}, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Graph.Weight(0, 1)
+	if w != 1 {
+		t.Errorf("Simpson(host ⊃ flow) = %f, want 1", w)
+	}
+	if len(res.Communities) != 1 {
+		t.Errorf("contained alarms should form one community, got %d", len(res.Communities))
+	}
+}
+
+func TestEstimateJaccardLowerThanSimpson(t *testing.T) {
+	tr := twoEventTrace()
+	host := scanAlarm("a", 0)
+	oneDst := Alarm{Detector: "b", Config: 0, Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(10, 9, 9, 9)).WithDst(trace.MakeIPv4(10, 0, 2, 5)),
+	}}
+	cfg := DefaultEstimatorConfig()
+	cfg.Measure = Jaccard
+	cfg.MinSimilarity = 0
+	res, err := Estimate(tr, []Alarm{host, oneDst}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Graph.Weight(0, 1)
+	if w <= 0 || w >= 0.5 {
+		t.Errorf("Jaccard(1 of 40 flows) = %f, want small positive", w)
+	}
+}
+
+func TestEstimateConstantMeasure(t *testing.T) {
+	tr := twoEventTrace()
+	cfg := DefaultEstimatorConfig()
+	cfg.Measure = Constant
+	res, err := Estimate(tr, []Alarm{scanAlarm("a", 0), scanAlarm("b", 0)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := res.Graph.Weight(0, 1); w != 1 {
+		t.Errorf("constant weight = %f, want 1", w)
+	}
+}
+
+func TestEstimateMinSimilarityDiscriminates(t *testing.T) {
+	tr := twoEventTrace()
+	host := scanAlarm("a", 0)
+	oneDst := Alarm{Detector: "b", Config: 0, Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(10, 9, 9, 9)).WithDst(trace.MakeIPv4(10, 0, 2, 5)),
+	}}
+	cfg := DefaultEstimatorConfig()
+	cfg.Measure = Jaccard // 1/40 = 0.025
+	cfg.MinSimilarity = 0.1
+	res, err := Estimate(tr, []Alarm{host, oneDst}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.EdgeCount() != 0 {
+		t.Error("weak edge should be discarded by MinSimilarity")
+	}
+	if res.SingleCommunities() != 2 {
+		t.Errorf("single communities = %d, want 2", res.SingleCommunities())
+	}
+}
+
+func TestEstimateComponentsAblation(t *testing.T) {
+	tr := twoEventTrace()
+	cfg := DefaultEstimatorConfig()
+	cfg.Algo = ConnectedComponents
+	alarms := []Alarm{scanAlarm("a", 0), scanAlarm("b", 0), pingAlarm("c", 0)}
+	res, err := Estimate(tr, alarms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 2 {
+		t.Errorf("components = %d, want 2", len(res.Communities))
+	}
+}
+
+func TestEstimateBadConfig(t *testing.T) {
+	tr := twoEventTrace()
+	cfg := DefaultEstimatorConfig()
+	cfg.MinSimilarity = 2
+	if _, err := Estimate(tr, nil, cfg); err == nil {
+		t.Error("invalid MinSimilarity accepted")
+	}
+	cfg = DefaultEstimatorConfig()
+	cfg.Measure = Measure(99)
+	if _, err := Estimate(tr, []Alarm{scanAlarm("a", 0), scanAlarm("b", 0)}, cfg); err == nil {
+		t.Error("unknown measure accepted")
+	}
+	cfg = DefaultEstimatorConfig()
+	cfg.Algo = CommunityAlgo(99)
+	if _, err := Estimate(tr, []Alarm{scanAlarm("a", 0)}, cfg); err == nil {
+		t.Error("unknown algo accepted")
+	}
+}
+
+func TestEstimateEmptyAlarms(t *testing.T) {
+	tr := twoEventTrace()
+	res, err := Estimate(tr, nil, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 0 {
+		t.Errorf("no alarms should yield no communities, got %d", len(res.Communities))
+	}
+}
+
+func TestEstimateNoTrafficAlarmIsSingle(t *testing.T) {
+	tr := twoEventTrace()
+	ghost := Alarm{Detector: "x", Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(99, 0, 0, 1)),
+	}}
+	res, err := Estimate(tr, []Alarm{ghost, scanAlarm("a", 0)}, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 2 || res.SingleCommunities() != 2 {
+		t.Errorf("ghost alarm should be its own single community: %d communities", len(res.Communities))
+	}
+}
+
+func TestDetectorsIn(t *testing.T) {
+	tr := twoEventTrace()
+	alarms := []Alarm{scanAlarm("hough", 0), scanAlarm("hough", 1), scanAlarm("gamma", 0)}
+	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 1 {
+		t.Fatalf("want one community, got %d", len(res.Communities))
+	}
+	dets := res.DetectorsIn(&res.Communities[0])
+	if len(dets) != 2 {
+		t.Errorf("detectors = %v, want 2 distinct", dets)
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	if Simpson.String() != "simpson" || Jaccard.String() != "jaccard" || Constant.String() != "constant" {
+		t.Error("measure names wrong")
+	}
+	if Measure(9).String() == "" {
+		t.Error("unknown measure should render")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sort"
+
+	"mawilab/internal/trace"
+)
+
+// TrafficSet is the traffic designated by one alarm at a given granularity
+// (§2.1.1): a set of opaque traffic-unit ids used for similarity, plus
+// references back to the matched flows/packets for labeling.
+type TrafficSet struct {
+	// IDs identify the traffic units: packet indices (GranPacket), directed
+	// flow hashes (GranUniFlow) or canonical flow hashes (GranBiFlow).
+	IDs map[uint64]struct{}
+	// FlowRefs are indices into the extractor's flow table for every
+	// matched unidirectional flow, sorted ascending.
+	FlowRefs []int
+	// PacketIdx are the matched packet indices (populated only at
+	// GranPacket), sorted ascending.
+	PacketIdx []int
+}
+
+// Size returns the number of traffic units in the set.
+func (ts *TrafficSet) Size() int { return len(ts.IDs) }
+
+// Extractor resolves alarms to TrafficSets against one trace. Building it
+// indexes the trace's flows once; extraction is then a scan over flows per
+// alarm filter. This is the "traffic extractor / oracle" of §2.1.1.
+type Extractor struct {
+	tr   *trace.Trace
+	gran trace.Granularity
+	keys []trace.FlowKey // flow table
+	pkts [][]int         // packets per flow, aligned with keys
+}
+
+// NewExtractor indexes tr for extraction at granularity g.
+func NewExtractor(tr *trace.Trace, g trace.Granularity) *Extractor {
+	idx := tr.FlowIndex()
+	keys := make([]trace.FlowKey, 0, len(idx))
+	for k := range idx {
+		keys = append(keys, k)
+	}
+	// Deterministic flow order: sort by directed hash then fields.
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		if a.DstPort != b.DstPort {
+			return a.DstPort < b.DstPort
+		}
+		return a.Proto < b.Proto
+	})
+	pkts := make([][]int, len(keys))
+	for i, k := range keys {
+		pkts[i] = idx[k]
+	}
+	return &Extractor{tr: tr, gran: g, keys: keys, pkts: pkts}
+}
+
+// Granularity returns the traffic granularity of the extractor.
+func (e *Extractor) Granularity() trace.Granularity { return e.gran }
+
+// Flows returns the number of distinct unidirectional flows indexed.
+func (e *Extractor) Flows() int { return len(e.keys) }
+
+// FlowKey returns the flow key at table index i.
+func (e *Extractor) FlowKey(i int) trace.FlowKey { return e.keys[i] }
+
+// FlowPackets returns the packet indices of flow table entry i.
+func (e *Extractor) FlowPackets(i int) []int { return e.pkts[i] }
+
+// Extract resolves alarm a to its TrafficSet.
+func (e *Extractor) Extract(a *Alarm) *TrafficSet {
+	ts := &TrafficSet{IDs: make(map[uint64]struct{})}
+	flowSeen := make(map[int]struct{})
+	pktSeen := make(map[int]struct{})
+	for _, f := range a.Filters {
+		for fi, k := range e.keys {
+			if !f.MatchFlow(k) {
+				continue
+			}
+			switch e.gran {
+			case trace.GranPacket:
+				for _, pi := range e.pkts[fi] {
+					p := &e.tr.Packets[pi]
+					if f.TimeBounded() {
+						sec := p.Seconds()
+						if sec < f.From || sec >= f.To {
+							continue
+						}
+					}
+					if _, ok := pktSeen[pi]; ok {
+						continue
+					}
+					pktSeen[pi] = struct{}{}
+					ts.IDs[uint64(pi)] = struct{}{}
+					if _, ok := flowSeen[fi]; !ok {
+						flowSeen[fi] = struct{}{}
+					}
+				}
+			default:
+				if f.TimeBounded() && !e.anyPacketIn(fi, f.From, f.To) {
+					continue
+				}
+				if _, ok := flowSeen[fi]; ok {
+					continue
+				}
+				flowSeen[fi] = struct{}{}
+				if e.gran == trace.GranUniFlow {
+					ts.IDs[k.DirectedHash()] = struct{}{}
+				} else {
+					ts.IDs[k.Canonical().FastHash()] = struct{}{}
+				}
+			}
+		}
+	}
+	ts.FlowRefs = sortedKeys(flowSeen)
+	if e.gran == trace.GranPacket {
+		ts.PacketIdx = sortedKeys(pktSeen)
+	}
+	return ts
+}
+
+// anyPacketIn reports whether flow fi has a packet in [from,to) seconds.
+func (e *Extractor) anyPacketIn(fi int, from, to float64) bool {
+	for _, pi := range e.pkts[fi] {
+		sec := e.tr.Packets[pi].Seconds()
+		if sec >= from && sec < to {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CommunityTraffic is the union of member alarms' traffic, materialized for
+// labeling: distinct flows and the packets they carry.
+type CommunityTraffic struct {
+	Flows   []trace.FlowKey
+	Packets []int
+}
+
+// Union merges the traffic of several alarm sets into community traffic.
+// At flow granularities the packets are all packets of the matched flows;
+// at packet granularity they are exactly the matched packets.
+func (e *Extractor) Union(sets []*TrafficSet) CommunityTraffic {
+	flowSeen := make(map[int]struct{})
+	for _, ts := range sets {
+		for _, fi := range ts.FlowRefs {
+			flowSeen[fi] = struct{}{}
+		}
+	}
+	flowRefs := sortedKeys(flowSeen)
+	ct := CommunityTraffic{Flows: make([]trace.FlowKey, len(flowRefs))}
+	for i, fi := range flowRefs {
+		ct.Flows[i] = e.keys[fi]
+	}
+	if e.gran == trace.GranPacket {
+		pktSeen := make(map[int]struct{})
+		for _, ts := range sets {
+			for _, pi := range ts.PacketIdx {
+				pktSeen[pi] = struct{}{}
+			}
+		}
+		ct.Packets = sortedKeys(pktSeen)
+	} else {
+		for _, fi := range flowRefs {
+			ct.Packets = append(ct.Packets, e.pkts[fi]...)
+		}
+		sort.Ints(ct.Packets)
+	}
+	return ct
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"mawilab/internal/trace"
+)
+
+// fig1Trace builds the Fig. 1 scenario: one long flow whose packets are
+// split across three alarms; Alarm2 and Alarm3 share packets, Alarm1 is a
+// disjoint set of packets of the same flow.
+func fig1Trace() (*trace.Trace, []Alarm) {
+	src := trace.MakeIPv4(10, 0, 0, 1)
+	dst := trace.MakeIPv4(10, 0, 1, 1)
+	tr := &trace.Trace{Name: "fig1"}
+	for i := 0; i < 10; i++ {
+		tr.Append(trace.Packet{
+			TS: int64(i) * 1e6, Src: src, Dst: dst,
+			SrcPort: 1234, DstPort: 80, Proto: trace.TCP, Len: 100,
+		})
+	}
+	base := trace.NewFilter().WithSrc(src).WithDst(dst).WithDstPort(80)
+	alarms := []Alarm{
+		{Detector: "A", Config: 0, Filters: []trace.Filter{base.WithInterval(0, 3)}},  // packets 0-2
+		{Detector: "B", Config: 0, Filters: []trace.Filter{base.WithInterval(4, 8)}},  // packets 4-7
+		{Detector: "C", Config: 0, Filters: []trace.Filter{base.WithInterval(6, 10)}}, // packets 6-9
+	}
+	return tr, alarms
+}
+
+func TestExtractPacketGranularityFig1(t *testing.T) {
+	tr, alarms := fig1Trace()
+	ext := NewExtractor(tr, trace.GranPacket)
+	s1 := ext.Extract(&alarms[0])
+	s2 := ext.Extract(&alarms[1])
+	s3 := ext.Extract(&alarms[2])
+	if s1.Size() != 3 || s2.Size() != 4 || s3.Size() != 4 {
+		t.Fatalf("sizes = %d/%d/%d, want 3/4/4", s1.Size(), s2.Size(), s3.Size())
+	}
+	// Alarm2 ∩ Alarm3 = packets 6,7; Alarm1 disjoint from both.
+	if n := intersect(s2, s3); n != 2 {
+		t.Errorf("|s2∩s3| = %d, want 2", n)
+	}
+	if n := intersect(s1, s2); n != 0 {
+		t.Errorf("|s1∩s2| = %d, want 0", n)
+	}
+}
+
+func TestExtractFlowGranularityFig1(t *testing.T) {
+	// At flow granularity all three alarms designate the same single flow.
+	tr, alarms := fig1Trace()
+	for _, g := range []trace.Granularity{trace.GranUniFlow, trace.GranBiFlow} {
+		ext := NewExtractor(tr, g)
+		s1 := ext.Extract(&alarms[0])
+		s2 := ext.Extract(&alarms[1])
+		s3 := ext.Extract(&alarms[2])
+		if s1.Size() != 1 || s2.Size() != 1 || s3.Size() != 1 {
+			t.Fatalf("%v sizes = %d/%d/%d, want 1/1/1", g, s1.Size(), s2.Size(), s3.Size())
+		}
+		if intersect(s1, s2) != 1 || intersect(s2, s3) != 1 {
+			t.Errorf("%v: all alarms should share the flow", g)
+		}
+	}
+}
+
+func intersect(a, b *TrafficSet) int {
+	n := 0
+	for id := range a.IDs {
+		if _, ok := b.IDs[id]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBiflowMergesDirections(t *testing.T) {
+	src := trace.MakeIPv4(1, 1, 1, 1)
+	dst := trace.MakeIPv4(2, 2, 2, 2)
+	tr := &trace.Trace{}
+	tr.Append(trace.Packet{TS: 0, Src: src, Dst: dst, SrcPort: 1000, DstPort: 80, Proto: trace.TCP})
+	tr.Append(trace.Packet{TS: 1e6, Src: dst, Dst: src, SrcPort: 80, DstPort: 1000, Proto: trace.TCP})
+
+	fwd := Alarm{Detector: "A", Filters: []trace.Filter{trace.NewFilter().WithSrc(src)}}
+	rev := Alarm{Detector: "B", Filters: []trace.Filter{trace.NewFilter().WithSrc(dst)}}
+
+	uni := NewExtractor(tr, trace.GranUniFlow)
+	if n := intersect(uni.Extract(&fwd), uni.Extract(&rev)); n != 0 {
+		t.Errorf("uniflow intersect = %d, want 0 (directions distinct)", n)
+	}
+	bi := NewExtractor(tr, trace.GranBiFlow)
+	if n := intersect(bi.Extract(&fwd), bi.Extract(&rev)); n != 1 {
+		t.Errorf("biflow intersect = %d, want 1 (directions merge)", n)
+	}
+}
+
+func TestExtractMultipleFiltersDedupe(t *testing.T) {
+	tr, _ := fig1Trace()
+	src := trace.MakeIPv4(10, 0, 0, 1)
+	a := Alarm{Detector: "A", Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(src),
+		trace.NewFilter().WithDstPort(80),
+	}}
+	ext := NewExtractor(tr, trace.GranUniFlow)
+	ts := ext.Extract(&a)
+	if ts.Size() != 1 {
+		t.Errorf("overlapping filters should dedupe: size = %d", ts.Size())
+	}
+	if len(ts.FlowRefs) != 1 {
+		t.Errorf("flow refs = %d, want 1", len(ts.FlowRefs))
+	}
+}
+
+func TestExtractNoMatch(t *testing.T) {
+	tr, _ := fig1Trace()
+	a := Alarm{Detector: "A", Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(99, 99, 99, 99)),
+	}}
+	ext := NewExtractor(tr, trace.GranUniFlow)
+	if ts := ext.Extract(&a); ts.Size() != 0 {
+		t.Errorf("no-match alarm size = %d", ts.Size())
+	}
+}
+
+func TestExtractTimeBoundExcludesFlow(t *testing.T) {
+	tr, _ := fig1Trace()
+	src := trace.MakeIPv4(10, 0, 0, 1)
+	// Window covering no packets: flow must not match at flow granularity.
+	a := Alarm{Detector: "A", Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(src).WithInterval(100, 200),
+	}}
+	ext := NewExtractor(tr, trace.GranUniFlow)
+	if ts := ext.Extract(&a); ts.Size() != 0 {
+		t.Errorf("flow with no packet in window matched: %d", ts.Size())
+	}
+}
+
+func TestUnionCommunityTraffic(t *testing.T) {
+	tr, alarms := fig1Trace()
+	ext := NewExtractor(tr, trace.GranPacket)
+	s2 := ext.Extract(&alarms[1])
+	s3 := ext.Extract(&alarms[2])
+	ct := ext.Union([]*TrafficSet{s2, s3})
+	if len(ct.Packets) != 6 { // 4..9
+		t.Errorf("union packets = %d, want 6", len(ct.Packets))
+	}
+	if len(ct.Flows) != 1 {
+		t.Errorf("union flows = %d, want 1", len(ct.Flows))
+	}
+	// Flow granularity: packets are the whole flow.
+	extF := NewExtractor(tr, trace.GranUniFlow)
+	f2 := extF.Extract(&alarms[1])
+	ctF := extF.Union([]*TrafficSet{f2})
+	if len(ctF.Packets) != 10 {
+		t.Errorf("flow-granularity union packets = %d, want all 10", len(ctF.Packets))
+	}
+}
+
+func TestExtractorAccessors(t *testing.T) {
+	tr, _ := fig1Trace()
+	ext := NewExtractor(tr, trace.GranBiFlow)
+	if ext.Granularity() != trace.GranBiFlow {
+		t.Error("granularity accessor wrong")
+	}
+	if ext.Flows() != 1 {
+		t.Errorf("flows = %d, want 1", ext.Flows())
+	}
+	if got := ext.FlowPackets(0); len(got) != 10 {
+		t.Errorf("flow packets = %d", len(got))
+	}
+	k := ext.FlowKey(0)
+	if k.DstPort != 80 {
+		t.Errorf("flow key = %v", k)
+	}
+}
+
+func TestAlarmStringAndKey(t *testing.T) {
+	a := Alarm{Detector: "pca", Config: 2, Filters: []trace.Filter{trace.NewFilter()}}
+	if a.Key() != (ConfigKey{"pca", 2}) {
+		t.Error("Key wrong")
+	}
+	if a.Key().String() != "pca/2" {
+		t.Errorf("key string = %q", a.Key().String())
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+	many := Alarm{Detector: "d", Filters: make([]trace.Filter, 10)}
+	if many.String() == "" {
+		t.Error("String with many filters empty")
+	}
+}
+
+func TestConfigUniverse(t *testing.T) {
+	alarms := []Alarm{
+		{Detector: "b", Config: 1},
+		{Detector: "a", Config: 0},
+		{Detector: "b", Config: 0},
+		{Detector: "b", Config: 1}, // duplicate
+	}
+	keys, per := ConfigUniverse(alarms)
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0] != (ConfigKey{"a", 0}) || keys[1] != (ConfigKey{"b", 0}) || keys[2] != (ConfigKey{"b", 1}) {
+		t.Errorf("order = %v", keys)
+	}
+	if per["a"] != 1 || per["b"] != 2 {
+		t.Errorf("perDetector = %v", per)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"mawilab/internal/apriori"
+	"mawilab/internal/heuristics"
+	"mawilab/internal/trace"
+)
+
+// Label is the four-level taxonomy assigned to traffic in the published
+// MAWILab database (§5).
+type Label uint8
+
+// Taxonomy labels, by increasing severity.
+const (
+	// Benign traffic was never reported by any detector.
+	Benign Label = iota
+	// Notice traffic was reported but clearly rejected by the combiner
+	// (relative distance above the threshold).
+	Notice
+	// Suspicious traffic was rejected but lies close to the decision
+	// threshold: probably anomalous but not clearly identified.
+	Suspicious
+	// Anomalous traffic was accepted by the combiner: any efficient
+	// detector should identify it.
+	Anomalous
+)
+
+// String names the label as in the MAWILab database.
+func (l Label) String() string {
+	switch l {
+	case Anomalous:
+		return "anomalous"
+	case Suspicious:
+		return "suspicious"
+	case Notice:
+		return "notice"
+	default:
+		return "benign"
+	}
+}
+
+// SuspiciousThreshold is the relative-distance boundary between Suspicious
+// and Notice for rejected communities (§5).
+const SuspiciousThreshold = 0.5
+
+// AssignLabel maps one combiner decision to the taxonomy.
+func AssignLabel(d Decision) Label {
+	if d.Accepted {
+		return Anomalous
+	}
+	if d.RelDistance <= SuspiciousThreshold {
+		return Suspicious
+	}
+	return Notice
+}
+
+// ReportOptions controls community labeling.
+type ReportOptions struct {
+	// RuleSupport is Apriori's minimum support as a fraction; the paper
+	// fixes s = 20%.
+	RuleSupport float64
+	// MaxRules caps the rules kept per community (most specific first);
+	// 0 keeps all maximal rules.
+	MaxRules int
+}
+
+// DefaultReportOptions returns the paper's labeling parameters.
+func DefaultReportOptions() ReportOptions {
+	return ReportOptions{RuleSupport: 0.2}
+}
+
+// CommunityReport is the final label record for one community: taxonomy
+// label, concise association rules describing the traffic, rule-quality
+// metrics, and the Table 1 heuristic classification used for evaluation.
+type CommunityReport struct {
+	Community   int
+	Label       Label
+	Decision    Decision
+	Rules       []apriori.Rule
+	RuleDegree  float64 // mean items per rule, [0,4]
+	RuleSupport float64 // fraction of traffic covered by the rules, [0,1]
+	Class       heuristics.Class
+	Category    heuristics.Category
+	Packets     int
+	Flows       int
+}
+
+// String renders the report headline.
+func (cr *CommunityReport) String() string {
+	rule := "<no rule>"
+	if len(cr.Rules) > 0 {
+		rule = cr.Rules[0].String()
+	}
+	return fmt.Sprintf("community %d: %s (%s/%s) %s",
+		cr.Community, cr.Label, cr.Class, cr.Category, rule)
+}
+
+// BuildReports labels every community of r given combiner decisions:
+// association rules are mined from the community traffic (modified Apriori
+// with percentage support, §4.1.1), the rule metrics computed, and the
+// Table 1 heuristics applied for the evaluation figures.
+func BuildReports(tr *trace.Trace, r *Result, decisions []Decision, opts ReportOptions) ([]CommunityReport, error) {
+	if len(decisions) != len(r.Communities) {
+		return nil, fmt.Errorf("core: decisions (%d) != communities (%d)", len(decisions), len(r.Communities))
+	}
+	if opts.RuleSupport <= 0 || opts.RuleSupport > 1 {
+		return nil, fmt.Errorf("core: rule support %f out of (0,1]", opts.RuleSupport)
+	}
+	reports := make([]CommunityReport, len(r.Communities))
+	for ci := range r.Communities {
+		c := &r.Communities[ci]
+		txs := communityTransactions(tr, r, c)
+		mined := apriori.Mine(txs, opts.RuleSupport)
+		rules := apriori.Maximal(mined)
+		if opts.MaxRules > 0 && len(rules) > opts.MaxRules {
+			rules = rules[:opts.MaxRules]
+		}
+		// Heuristics inspect the traffic the community rules describe
+		// (§5 assigns labels "to the traffic described by the community
+		// rules"): a community mixing a 445-scan with incidental
+		// neighbour flows is still an SMB attack per its dominant rule.
+		cls, cat := heuristics.ClassifyPackets(tr, ruleCoveredPackets(tr, c.Traffic.Packets, rules))
+		reports[ci] = CommunityReport{
+			Community:   ci,
+			Label:       AssignLabel(decisions[ci]),
+			Decision:    decisions[ci],
+			Rules:       rules,
+			RuleDegree:  apriori.MeanDegree(rules),
+			RuleSupport: apriori.Coverage(txs, rules),
+			Class:       cls,
+			Category:    cat,
+			Packets:     len(c.Traffic.Packets),
+			Flows:       len(c.Traffic.Flows),
+		}
+	}
+	return reports, nil
+}
+
+// ruleCoveredPackets returns the subset of community packets matched by at
+// least one mined rule; with no rules (or no coverage) it falls back to the
+// whole community so the heuristics always see some traffic.
+func ruleCoveredPackets(tr *trace.Trace, packets []int, rules []apriori.Rule) []int {
+	if len(rules) == 0 {
+		return packets
+	}
+	var out []int
+	for _, pi := range packets {
+		tx := apriori.FromPacket(&tr.Packets[pi])
+		for _, rule := range rules {
+			if rule.Matches(tx) {
+				out = append(out, pi)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return packets
+	}
+	return out
+}
+
+// communityTransactions itemizes the community traffic: one transaction per
+// flow at flow granularities, one per packet at packet granularity — "the
+// packets or flows corresponding to each community" (§4.1.1).
+func communityTransactions(tr *trace.Trace, r *Result, c *Community) []apriori.Transaction {
+	if r.cfg.Granularity == trace.GranPacket {
+		txs := make([]apriori.Transaction, len(c.Traffic.Packets))
+		for i, pi := range c.Traffic.Packets {
+			txs[i] = apriori.FromPacket(&tr.Packets[pi])
+		}
+		return txs
+	}
+	txs := make([]apriori.Transaction, len(c.Traffic.Flows))
+	for i, k := range c.Traffic.Flows {
+		txs[i] = apriori.FromFlow(k)
+	}
+	return txs
+}

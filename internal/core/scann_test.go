@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"mawilab/internal/trace"
+)
+
+// multiCommunityTrace builds several distinct anomalies so the estimator
+// produces several communities with controlled vote patterns.
+func multiCommunityTrace(nEvents int) *trace.Trace {
+	tr := &trace.Trace{Name: "multi"}
+	ts := int64(0)
+	add := func(p trace.Packet) {
+		p.TS = ts
+		ts += 1000
+		tr.Append(p)
+	}
+	for e := 0; e < nEvents; e++ {
+		src := trace.MakeIPv4(10, 9, byte(e), 9)
+		for h := byte(1); h <= 30; h++ {
+			add(trace.Packet{Src: src, Dst: trace.MakeIPv4(10, 0, byte(e), h),
+				SrcPort: 1024, DstPort: 445, Proto: trace.TCP, Flags: trace.SYN, Len: 40})
+		}
+	}
+	return tr
+}
+
+func eventAlarm(det string, cfg, event int) Alarm {
+	return Alarm{Detector: det, Config: cfg, Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(10, 9, byte(event), 9)),
+	}}
+}
+
+func TestSCANNAcceptsBroadlyVotedRejectsIsolated(t *testing.T) {
+	// 8 events: events 0-3 are reported by 3 detectors × 3 configs (9
+	// votes); events 4-7 only by a single config of a "noisy" detector
+	// that also votes for everything else (constant voter).
+	tr := multiCommunityTrace(8)
+	var alarms []Alarm
+	for e := 0; e < 4; e++ {
+		for _, det := range []string{"gamma", "hough", "kl"} {
+			for cfg := 0; cfg < 3; cfg++ {
+				alarms = append(alarms, eventAlarm(det, cfg, e))
+			}
+		}
+	}
+	for e := 4; e < 8; e++ {
+		alarms = append(alarms, eventAlarm("noisy", 0, e))
+	}
+	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 8 {
+		t.Fatalf("communities = %d, want 8", len(res.Communities))
+	}
+	dec, err := NewSCANN().Classify(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range res.Communities {
+		broad := len(c.Alarms) > 1
+		if broad && !dec[ci].Accepted {
+			t.Errorf("community %d (9 votes) rejected", ci)
+		}
+		if !broad && dec[ci].Accepted {
+			t.Errorf("community %d (isolated noisy vote) accepted", ci)
+		}
+	}
+}
+
+func TestSCANNRelativeDistanceOrdering(t *testing.T) {
+	// Communities with more supporting configurations should look more
+	// "accept-like" (higher Score) than ones with fewer.
+	tr := multiCommunityTrace(3)
+	var alarms []Alarm
+	// Event 0: all 9 configs. Event 1: 3 configs. Event 2: 1 config.
+	for _, det := range []string{"a", "b", "c"} {
+		for cfg := 0; cfg < 3; cfg++ {
+			alarms = append(alarms, eventAlarm(det, cfg, 0))
+		}
+	}
+	for cfg := 0; cfg < 3; cfg++ {
+		alarms = append(alarms, eventAlarm("a", cfg, 1))
+	}
+	alarms = append(alarms, eventAlarm("a", 0, 2))
+	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 3 {
+		t.Fatalf("communities = %d, want 3", len(res.Communities))
+	}
+	dec, err := NewSCANN().Classify(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify communities by their size.
+	scoreBySize := map[int]float64{}
+	for ci, c := range res.Communities {
+		scoreBySize[len(c.Alarms)] = dec[ci].Score
+	}
+	if !(scoreBySize[9] > scoreBySize[3] && scoreBySize[3] > scoreBySize[1]) {
+		t.Errorf("scores not ordered by support: %v", scoreBySize)
+	}
+	for _, d := range dec {
+		if d.RelDistance < 0 {
+			t.Errorf("relative distance negative: %+v", d)
+		}
+	}
+}
+
+func TestSCANNEmptyResult(t *testing.T) {
+	tr := multiCommunityTrace(1)
+	res, err := Estimate(tr, nil, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewSCANN().Classify(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Errorf("decisions = %d, want 0", len(dec))
+	}
+}
+
+func TestSCANNAllIdenticalVotes(t *testing.T) {
+	// Every community voted by the same single config: the disjunctive
+	// columns are constant → degenerate space → reject everything rather
+	// than erroring.
+	tr := multiCommunityTrace(3)
+	var alarms []Alarm
+	for e := 0; e < 3; e++ {
+		alarms = append(alarms, eventAlarm("only", 0, e))
+	}
+	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewSCANN().Classify(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, d := range dec {
+		if d.Accepted {
+			t.Errorf("community %d accepted in degenerate space", ci)
+		}
+	}
+}
+
+func TestRelativeDistanceFunction(t *testing.T) {
+	// Accepted: near = dacc, far = drej.
+	if rd := relativeDistance(1, 3, true); rd != 2 {
+		t.Errorf("rel(1,3,acc) = %f, want 2", rd)
+	}
+	// Rejected: near = drej, far = dacc.
+	if rd := relativeDistance(3, 1, false); rd != 2 {
+		t.Errorf("rel(3,1,rej) = %f, want 2", rd)
+	}
+	// On threshold.
+	if rd := relativeDistance(2, 2, true); rd != 0 {
+		t.Errorf("rel(2,2) = %f, want 0", rd)
+	}
+	// On the reference point exactly.
+	if rd := relativeDistance(0, 5, true); rd != maxRelDistance {
+		t.Errorf("rel(0,5) = %f, want cap", rd)
+	}
+	if rd := relativeDistance(0, 0, true); rd != 0 {
+		t.Errorf("rel(0,0) = %f, want 0", rd)
+	}
+}

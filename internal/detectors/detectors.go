@@ -1,0 +1,89 @@
+// Package detectors defines the common contract implemented by the four
+// anomaly detectors the paper combines (§3.2): PCA with sketches, the
+// multiresolution Gamma model, the Hough-transform pattern detector, and
+// the Kullback-Leibler histogram detector.
+//
+// Each detector runs unsupervised over one trace under one of its parameter
+// sets ("configurations": optimal, sensitive, conservative) and reports
+// core.Alarms. The similarity estimator is what makes their heterogeneous
+// granularities comparable, so implementations are free to report hosts,
+// flows, packets or feature tuples.
+package detectors
+
+import (
+	"fmt"
+
+	"mawilab/internal/core"
+	"mawilab/internal/trace"
+)
+
+// Tuning indexes a detector's parameter sets.
+type Tuning int
+
+// The paper's three tunings per detector.
+const (
+	// Optimal is the recommended middle-ground parameter set.
+	Optimal Tuning = iota
+	// Sensitive trades false positives for recall.
+	Sensitive
+	// Conservative trades recall for precision.
+	Conservative
+	// NumTunings is the number of parameter sets per detector.
+	NumTunings
+)
+
+// String names the tuning.
+func (t Tuning) String() string {
+	switch t {
+	case Optimal:
+		return "optimal"
+	case Sensitive:
+		return "sensitive"
+	case Conservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("tuning(%d)", int(t))
+	}
+}
+
+// Detector is one unsupervised anomaly detector with a fixed set of
+// configurations.
+type Detector interface {
+	// Name is the short identifier used in alarms ("pca", "gamma",
+	// "hough", "kl").
+	Name() string
+	// NumConfigs returns how many parameter sets the detector offers.
+	NumConfigs() int
+	// Detect analyzes the trace under parameter set config and returns
+	// the alarms raised. Implementations must be deterministic for a
+	// given (trace, config).
+	Detect(tr *trace.Trace, config int) ([]core.Alarm, error)
+}
+
+// DetectAll runs every configuration of every detector and concatenates the
+// alarms — the "12 outputs of all the configurations" fed to the similarity
+// estimator in the paper's experiments. It also returns the per-detector
+// configuration totals needed for confidence scores.
+func DetectAll(tr *trace.Trace, dets []Detector) ([]core.Alarm, map[string]int, error) {
+	var alarms []core.Alarm
+	totals := make(map[string]int, len(dets))
+	for _, d := range dets {
+		totals[d.Name()] = d.NumConfigs()
+		for cfg := 0; cfg < d.NumConfigs(); cfg++ {
+			out, err := d.Detect(tr, cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("detectors: %s/%d: %w", d.Name(), cfg, err)
+			}
+			alarms = append(alarms, out...)
+		}
+	}
+	return alarms, totals, nil
+}
+
+// CheckConfig validates a configuration index against a detector.
+func CheckConfig(d Detector, config int) error {
+	if config < 0 || config >= d.NumConfigs() {
+		return fmt.Errorf("detectors: %s: config %d out of [0,%d)", d.Name(), config, d.NumConfigs())
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package detectors
+
+import (
+	"errors"
+	"testing"
+
+	"mawilab/internal/core"
+	"mawilab/internal/trace"
+)
+
+// fakeDetector emits a fixed number of alarms per config.
+type fakeDetector struct {
+	name    string
+	configs int
+	fail    bool
+}
+
+func (f *fakeDetector) Name() string    { return f.name }
+func (f *fakeDetector) NumConfigs() int { return f.configs }
+func (f *fakeDetector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+	if f.fail {
+		return nil, errors.New("boom")
+	}
+	return []core.Alarm{{Detector: f.name, Config: config}}, nil
+}
+
+func TestDetectAll(t *testing.T) {
+	dets := []Detector{
+		&fakeDetector{name: "a", configs: 3},
+		&fakeDetector{name: "b", configs: 2},
+	}
+	alarms, totals, err := DetectAll(&trace.Trace{}, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 5 {
+		t.Errorf("alarms = %d, want 5", len(alarms))
+	}
+	if totals["a"] != 3 || totals["b"] != 2 {
+		t.Errorf("totals = %v", totals)
+	}
+	keys, _ := core.ConfigUniverse(alarms)
+	if len(keys) != 5 {
+		t.Errorf("config universe = %v", keys)
+	}
+}
+
+func TestDetectAllPropagatesError(t *testing.T) {
+	dets := []Detector{&fakeDetector{name: "bad", configs: 1, fail: true}}
+	if _, _, err := DetectAll(&trace.Trace{}, dets); err == nil {
+		t.Error("error not propagated")
+	}
+}
+
+func TestCheckConfig(t *testing.T) {
+	d := &fakeDetector{name: "x", configs: 3}
+	if err := CheckConfig(d, 0); err != nil {
+		t.Error("config 0 should be valid")
+	}
+	if err := CheckConfig(d, 2); err != nil {
+		t.Error("config 2 should be valid")
+	}
+	if err := CheckConfig(d, 3); err == nil {
+		t.Error("config 3 should be invalid")
+	}
+	if err := CheckConfig(d, -1); err == nil {
+		t.Error("config -1 should be invalid")
+	}
+}
+
+func TestTuningString(t *testing.T) {
+	if Optimal.String() != "optimal" || Sensitive.String() != "sensitive" || Conservative.String() != "conservative" {
+		t.Error("tuning names wrong")
+	}
+	if Tuning(42).String() == "" {
+		t.Error("unknown tuning should render")
+	}
+	if int(NumTunings) != 3 {
+		t.Errorf("NumTunings = %d", NumTunings)
+	}
+}

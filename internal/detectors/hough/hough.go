@@ -1,0 +1,334 @@
+// Package hough implements the Hough-transform anomaly detector of Fontugne
+// and Fukuda (§3.2 (3)): traffic is monitored in 2-D scatter plots where
+// anomalous behaviours — scans, floods, heavy flows — appear as lines, and
+// the Hough transform identifies those lines in the plots.
+//
+// Two planes are analyzed: (time, destination-address bucket) and (time,
+// source-address bucket). A network scan sweeping destinations draws a
+// slanted line, a flood pinned on one host draws a horizontal line, and a
+// heavy flow draws horizontal lines in both planes. The packets under each
+// detected line are aggregated into sets of flows, the alarm granularity
+// the paper attributes to this detector.
+package hough
+
+import (
+	"math"
+	"sort"
+
+	"mawilab/internal/core"
+	"mawilab/internal/detectors"
+	"mawilab/internal/sketch"
+	"mawilab/internal/trace"
+)
+
+// Detector is the Hough-transform detector.
+type Detector struct {
+	// TimeBin is the plot's time quantum in seconds.
+	TimeBin float64
+	// Rows is the address-bucket resolution of the plot.
+	Rows int
+	// Angles is the θ quantization of the Hough accumulator.
+	Angles int
+	// MaxFilters caps the flows reported per detected line.
+	MaxFilters int
+	// Seed derives the address-bucket hash.
+	Seed uint64
+	// tunings holds per-configuration (cell activation threshold, minimum
+	// line votes as a fraction of the time extent).
+	tunings [detectors.NumTunings]tuning
+}
+
+type tuning struct {
+	cellMin   int     // packets for a cell to switch "on"
+	voteShare float64 // accumulator peak threshold, fraction of time bins
+}
+
+// New returns the detector with defaults calibrated for the synthetic MAWI
+// archive.
+func New(seed uint64) *Detector {
+	return &Detector{
+		TimeBin:    0.5,
+		Rows:       128,
+		Angles:     48,
+		MaxFilters: 10,
+		Seed:       seed,
+		tunings: [detectors.NumTunings]tuning{
+			detectors.Optimal:      {cellMin: 3, voteShare: 0.30},
+			detectors.Sensitive:    {cellMin: 2, voteShare: 0.20},
+			detectors.Conservative: {cellMin: 4, voteShare: 0.45},
+		},
+	}
+}
+
+// Name implements detectors.Detector.
+func (d *Detector) Name() string { return "hough" }
+
+// NumConfigs implements detectors.Detector.
+func (d *Detector) NumConfigs() int { return int(detectors.NumTunings) }
+
+// Detect implements detectors.Detector.
+func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+	if err := detectors.CheckConfig(d, config); err != nil {
+		return nil, err
+	}
+	cols := int(math.Ceil(tr.Duration()/d.TimeBin)) + 1
+	if tr.Len() == 0 || cols < 6 {
+		return nil, nil
+	}
+	tn := d.tunings[config]
+	var alarms []core.Alarm
+	alarms = append(alarms, d.detectPlane(tr, config, tn, cols, true)...)
+	alarms = append(alarms, d.detectPlane(tr, config, tn, cols, false)...)
+	return alarms, nil
+}
+
+// cellKey addresses one plot cell.
+type cellKey struct{ x, y int }
+
+// detectPlane runs Hough line detection on one (time, address) plane.
+func (d *Detector) detectPlane(tr *trace.Trace, config int, tn tuning, cols int, dstPlane bool) []core.Alarm {
+	sk := sketch.New(d.Rows, d.Seed^uint64(boolToInt(dstPlane))<<17)
+	// Rasterize: packet counts and dominant flows per cell.
+	counts := make(map[cellKey]int)
+	cellFlows := make(map[cellKey]map[trace.FlowKey]int)
+	for pi := range tr.Packets {
+		p := &tr.Packets[pi]
+		ip := p.Src
+		if dstPlane {
+			ip = p.Dst
+		}
+		c := cellKey{x: int(p.Seconds() / d.TimeBin), y: sk.Bin(ip)}
+		counts[c]++
+		m := cellFlows[c]
+		if m == nil {
+			m = make(map[trace.FlowKey]int)
+			cellFlows[c] = m
+		}
+		m[p.Flow()]++
+	}
+	// Binarize.
+	var on []cellKey
+	for c, n := range counts {
+		if n >= tn.cellMin {
+			on = append(on, c)
+		}
+	}
+	if len(on) == 0 {
+		return nil
+	}
+	sort.Slice(on, func(i, j int) bool {
+		if on[i].x != on[j].x {
+			return on[i].x < on[j].x
+		}
+		return on[i].y < on[j].y
+	})
+
+	// Hough accumulator over (θ, ρ). ρ resolution = 1 cell.
+	diag := math.Hypot(float64(cols), float64(d.Rows))
+	rhoBins := 2*int(diag) + 1
+	acc := make([][]int32, d.Angles)
+	sinT := make([]float64, d.Angles)
+	cosT := make([]float64, d.Angles)
+	for a := 0; a < d.Angles; a++ {
+		theta := math.Pi * float64(a) / float64(d.Angles)
+		sinT[a] = math.Sin(theta)
+		cosT[a] = math.Cos(theta)
+		acc[a] = make([]int32, rhoBins)
+	}
+	for _, c := range on {
+		for a := 0; a < d.Angles; a++ {
+			rho := float64(c.x)*cosT[a] + float64(c.y)*sinT[a]
+			rb := int(rho + diag)
+			if rb >= 0 && rb < rhoBins {
+				acc[a][rb]++
+			}
+		}
+	}
+
+	minVotes := int32(math.Max(4, tn.voteShare*float64(cols)))
+	type line struct {
+		a, rb int
+		votes int32
+	}
+	var lines []line
+	for a := 0; a < d.Angles; a++ {
+		for rb := 0; rb < rhoBins; rb++ {
+			v := acc[a][rb]
+			if v < minVotes {
+				continue
+			}
+			// Local maximum over a small neighbourhood to avoid reporting
+			// the same line many times.
+			if isLocalMax(acc, a, rb, v) {
+				lines = append(lines, line{a, rb, v})
+			}
+		}
+	}
+	if len(lines) == 0 {
+		return nil
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].votes != lines[j].votes {
+			return lines[i].votes > lines[j].votes
+		}
+		if lines[i].a != lines[j].a {
+			return lines[i].a < lines[j].a
+		}
+		return lines[i].rb < lines[j].rb
+	})
+	if len(lines) > 8 {
+		lines = lines[:8] // strongest structures only
+	}
+
+	var alarms []core.Alarm
+	claimed := make(map[cellKey]bool)
+	for _, ln := range lines {
+		// Collect the on-cells lying near the line and aggregate per plane
+		// host: a scan is thousands of one-packet flows sharing a source,
+		// so attribution must go through the host the plane is keyed on,
+		// not through individual flows.
+		hostPkts := make(map[trace.IPv4]int)
+		hostPorts := make(map[trace.IPv4]map[uint16]int)
+		var minX, maxX = math.MaxInt32, -1
+		for _, c := range on {
+			if claimed[c] {
+				continue
+			}
+			rho := float64(c.x)*cosT[ln.a] + float64(c.y)*sinT[ln.a]
+			if math.Abs(rho-(float64(ln.rb)-diag)) > 1.0 {
+				continue
+			}
+			claimed[c] = true
+			for k, n := range cellFlows[c] {
+				host := k.Src
+				if dstPlane {
+					host = k.Dst
+				}
+				hostPkts[host] += n
+				pm := hostPorts[host]
+				if pm == nil {
+					pm = make(map[uint16]int)
+					hostPorts[host] = pm
+				}
+				pm[k.DstPort] += n
+			}
+			if c.x < minX {
+				minX = c.x
+			}
+			if c.x > maxX {
+				maxX = c.x
+			}
+		}
+		if len(hostPkts) == 0 {
+			continue
+		}
+		alarm := core.Alarm{
+			Detector: d.Name(),
+			Config:   config,
+			Score:    float64(ln.votes),
+			Note:     planeName(dstPlane) + " line",
+		}
+		from := float64(minX) * d.TimeBin
+		to := float64(maxX+1) * d.TimeBin
+		for _, host := range topHosts(hostPkts, d.MaxFilters) {
+			f := trace.NewFilter().WithInterval(from, to)
+			if dstPlane {
+				f = f.WithDst(host)
+			} else {
+				f = f.WithSrc(host)
+			}
+			// Narrow to the dominant destination port when one stands out:
+			// the aggregated flow set then reads like <host, *, *, port>.
+			if port, share := dominantPort(hostPorts[host]); share >= 0.6 {
+				f = f.WithDstPort(port)
+			}
+			alarm.Filters = append(alarm.Filters, f)
+		}
+		alarms = append(alarms, alarm)
+	}
+	return alarms
+}
+
+// dominantPort returns the destination port carrying the largest packet
+// share for a host, with that share.
+func dominantPort(ports map[uint16]int) (uint16, float64) {
+	total := 0
+	best := uint16(0)
+	bestN := -1
+	for p, n := range ports {
+		total += n
+		if n > bestN || (n == bestN && p < best) {
+			best, bestN = p, n
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return best, float64(bestN) / float64(total)
+}
+
+// topHosts returns up to k hosts by descending packet count (ties broken
+// by address).
+func topHosts(counts map[trace.IPv4]int, k int) []trace.IPv4 {
+	type hc struct {
+		h trace.IPv4
+		n int
+	}
+	all := make([]hc, 0, len(counts))
+	for h, n := range counts {
+		all = append(all, hc{h, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].h < all[j].h
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]trace.IPv4, k)
+	for i := range out {
+		out[i] = all[i].h
+	}
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func planeName(dst bool) string {
+	if dst {
+		return "dst"
+	}
+	return "src"
+}
+
+// isLocalMax reports whether acc[a][rb] is maximal over a 3×5 neighbourhood
+// (ties resolved toward the smaller index so one cell wins).
+func isLocalMax(acc [][]int32, a, rb int, v int32) bool {
+	for da := -1; da <= 1; da++ {
+		na := a + da
+		if na < 0 || na >= len(acc) {
+			continue
+		}
+		for dr := -2; dr <= 2; dr++ {
+			nr := rb + dr
+			if nr < 0 || nr >= len(acc[na]) || (da == 0 && dr == 0) {
+				continue
+			}
+			nv := acc[na][nr]
+			if nv > v {
+				return false
+			}
+			if nv == v && (na < a || (na == a && nr < rb)) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package hough
+
+import (
+	"testing"
+
+	"mawilab/internal/detectors"
+	"mawilab/internal/mawigen"
+	"mawilab/internal/trace"
+)
+
+func scanTrace(t *testing.T, seed int64) (*mawigen.Result, trace.IPv4) {
+	t.Helper()
+	cfg := mawigen.DefaultConfig(seed)
+	cfg.BackgroundRate = 250
+	cfg.Anomalies = []mawigen.Spec{{Kind: mawigen.KindPortScan, Start: 10, Duration: 25, Rate: 120}}
+	res := mawigen.Generate(cfg)
+	return res, *res.Truth[0].Filters[0].Src
+}
+
+func TestDetectFindsScanLine(t *testing.T) {
+	// A steady port scan draws a line in the (time, src-bucket) plane:
+	// the scanner's bucket is lit for 25 consecutive seconds.
+	res, scanner := scanTrace(t, 301)
+	d := New(5)
+	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("no alarms on a strong scan")
+	}
+	found := false
+	for _, a := range alarms {
+		for _, f := range a.Filters {
+			if f.Src != nil && *f.Src == scanner {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("scanner %v not in any of %d alarms", scanner, len(alarms))
+	}
+}
+
+func TestDetectFloodLine(t *testing.T) {
+	cfg := mawigen.DefaultConfig(303)
+	cfg.BackgroundRate = 250
+	cfg.Anomalies = []mawigen.Spec{{Kind: mawigen.KindICMPFlood, Start: 15, Duration: 20, Rate: 200}}
+	res := mawigen.Generate(cfg)
+	victim := *res.Truth[0].Filters[0].Dst
+	d := New(5)
+	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range alarms {
+		for _, f := range a.Filters {
+			if f.Dst != nil && *f.Dst == victim {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("flood victim %v not reported among %d alarms", victim, len(alarms))
+	}
+}
+
+func TestAlarmsAreFlowAggregates(t *testing.T) {
+	res, _ := scanTrace(t, 305)
+	d := New(5)
+	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range alarms {
+		if len(a.Filters) == 0 {
+			t.Fatal("alarm with no flow filters")
+		}
+		if len(a.Filters) > d.MaxFilters {
+			t.Fatalf("alarm with %d filters exceeds cap %d", len(a.Filters), d.MaxFilters)
+		}
+		for _, f := range a.Filters {
+			// Aggregated-flow filters pin the plane host and the interval.
+			if (f.Src == nil && f.Dst == nil) || !f.TimeBounded() {
+				t.Fatalf("filter not a time-bounded host aggregate: %v", f)
+			}
+		}
+	}
+}
+
+func TestSensitivityOrdering(t *testing.T) {
+	res, _ := scanTrace(t, 307)
+	d := New(5)
+	sens, _ := d.Detect(res.Trace, int(detectors.Sensitive))
+	cons, _ := d.Detect(res.Trace, int(detectors.Conservative))
+	if len(sens) < len(cons) {
+		t.Errorf("sensitive (%d) < conservative (%d)", len(sens), len(cons))
+	}
+}
+
+func TestQuietBackground(t *testing.T) {
+	cfg := mawigen.DefaultConfig(309)
+	cfg.BackgroundRate = 250
+	res := mawigen.Generate(cfg)
+	d := New(5)
+	alarms, err := d.Detect(res.Trace, int(detectors.Conservative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) > 6 {
+		t.Errorf("conservative background alarms = %d", len(alarms))
+	}
+}
+
+func TestShortEmptyAndConfig(t *testing.T) {
+	d := New(5)
+	if alarms, err := d.Detect(&trace.Trace{}, 0); err != nil || len(alarms) != 0 {
+		t.Error("empty trace should be silent")
+	}
+	if _, err := d.Detect(&trace.Trace{}, 9); err == nil {
+		t.Error("bad config accepted")
+	}
+	if d.Name() != "hough" || d.NumConfigs() != 3 {
+		t.Error("identity wrong")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	res, _ := scanTrace(t, 311)
+	d := New(5)
+	a, _ := d.Detect(res.Trace, 0)
+	b, _ := d.Detect(res.Trace, 0)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("nondeterministic alarms")
+		}
+	}
+}
+
+func TestIsLocalMax(t *testing.T) {
+	acc := [][]int32{
+		{1, 2, 3, 2, 1},
+		{1, 2, 9, 2, 1},
+		{1, 2, 3, 2, 1},
+	}
+	if !isLocalMax(acc, 1, 2, 9) {
+		t.Error("peak should be local max")
+	}
+	if isLocalMax(acc, 0, 2, 3) {
+		t.Error("shoulder should not be local max")
+	}
+	// Ties resolve toward the smaller index.
+	tie := [][]int32{{5, 5}}
+	if !isLocalMax(tie, 0, 0, 5) {
+		t.Error("first of tie should win")
+	}
+	if isLocalMax(tie, 0, 1, 5) {
+		t.Error("second of tie should lose")
+	}
+}

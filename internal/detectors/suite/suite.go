@@ -1,0 +1,37 @@
+// Package suite assembles the paper's four-detector ensemble with its
+// twelve configurations (4 detectors × 3 tunings), ready to feed the
+// similarity estimator.
+package suite
+
+import (
+	"mawilab/internal/detectors"
+	"mawilab/internal/detectors/gammafit"
+	"mawilab/internal/detectors/hough"
+	"mawilab/internal/detectors/klhist"
+	"mawilab/internal/detectors/pca"
+)
+
+// Seed is the default hash seed shared by the sketch-based detectors so
+// results are reproducible across runs.
+const Seed = 0x6d617769 // "mawi"
+
+// Standard returns the paper's ensemble: PCA, Gamma, Hough and KL, each
+// with three parameter sets.
+func Standard() []detectors.Detector {
+	return []detectors.Detector{
+		pca.New(Seed),
+		gammafit.New(Seed),
+		hough.New(Seed),
+		klhist.New(),
+	}
+}
+
+// Totals returns the detector→configuration-count map for a detector set,
+// as needed by core.Result.Confidences.
+func Totals(dets []detectors.Detector) map[string]int {
+	t := make(map[string]int, len(dets))
+	for _, d := range dets {
+		t[d.Name()] = d.NumConfigs()
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+package suite
+
+import (
+	"testing"
+
+	"mawilab/internal/core"
+	"mawilab/internal/detectors"
+	"mawilab/internal/mawigen"
+	"mawilab/internal/trace"
+)
+
+func TestStandardSuiteShape(t *testing.T) {
+	dets := Standard()
+	if len(dets) != 4 {
+		t.Fatalf("suite has %d detectors, want 4", len(dets))
+	}
+	names := map[string]bool{}
+	totalConfigs := 0
+	for _, d := range dets {
+		names[d.Name()] = true
+		totalConfigs += d.NumConfigs()
+	}
+	for _, want := range []string{"pca", "gamma", "hough", "kl"} {
+		if !names[want] {
+			t.Errorf("missing detector %q", want)
+		}
+	}
+	if totalConfigs != 12 {
+		t.Errorf("total configurations = %d, want 12 (the paper's 4×3)", totalConfigs)
+	}
+	totals := Totals(dets)
+	for _, d := range dets {
+		if totals[d.Name()] != d.NumConfigs() {
+			t.Errorf("totals[%s] = %d", d.Name(), totals[d.Name()])
+		}
+	}
+}
+
+// TestEndToEndPipeline runs the full paper pipeline on one synthetic day:
+// detectors → similarity estimator → SCANN → labels, and checks the
+// headline behaviours hold (anomalies found and labeled, scan community
+// classified as Attack by Table 1 heuristics).
+func TestEndToEndPipeline(t *testing.T) {
+	cfg := mawigen.DefaultConfig(991)
+	cfg.BackgroundRate = 300
+	cfg.Anomalies = []mawigen.Spec{
+		{Kind: mawigen.KindWormSasser, Start: 10, Duration: 25, Rate: 200},
+		{Kind: mawigen.KindICMPFlood, Start: 35, Duration: 15, Rate: 300},
+	}
+	gen := mawigen.Generate(cfg)
+
+	alarms, totals, err := detectors.DetectAll(gen.Trace, Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) < 6 {
+		t.Fatalf("ensemble produced only %d alarms", len(alarms))
+	}
+
+	res, err := core.Estimate(gen.Trace, alarms, core.DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) == 0 {
+		t.Fatal("no communities")
+	}
+
+	// At least one community should gather alarms from several detectors:
+	// the synergy the paper is about.
+	multi := 0
+	for i := range res.Communities {
+		if len(res.DetectorsIn(&res.Communities[i])) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no community spans multiple detectors")
+	}
+
+	dec, err := core.NewSCANN().Classify(res, res.Confidences(totals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for _, d := range dec {
+		if d.Accepted {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("SCANN accepted nothing on a two-attack trace")
+	}
+
+	reports, err := core.BuildReports(gen.Trace, res, dec, core.DefaultReportOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomalousAttack := 0
+	for _, rep := range reports {
+		if rep.Label == core.Anomalous && rep.Class.String() == "Attack" {
+			anomalousAttack++
+		}
+	}
+	if anomalousAttack == 0 {
+		t.Error("no accepted community classified as Attack by Table 1")
+	}
+
+	// Ground truth: the injected events should be covered by accepted
+	// communities' traffic.
+	coveredEvents := 0
+	for _, ev := range gen.Truth {
+		covered := false
+		for _, rep := range reports {
+			if rep.Label != core.Anomalous {
+				continue
+			}
+			c := &res.Communities[rep.Community]
+			hits := 0
+			for _, pi := range c.Traffic.Packets {
+				if ev.Matches(&gen.Trace.Packets[pi]) {
+					hits++
+					if hits >= 20 {
+						covered = true
+						break
+					}
+				}
+			}
+			if covered {
+				break
+			}
+		}
+		if covered {
+			coveredEvents++
+		}
+	}
+	if coveredEvents == 0 {
+		t.Errorf("no injected event covered by accepted communities (%d events)", len(gen.Truth))
+	}
+	_ = trace.GranUniFlow
+}

@@ -1,0 +1,175 @@
+// Package eval implements the paper's evaluation machinery (§4): the attack
+// ratio, the gain/cost quadrants of Table 2, and one harness per figure of
+// the evaluation section, each returning the series the paper plots so that
+// cmd/experiments and the benches can regenerate every result.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"mawilab/internal/core"
+	"mawilab/internal/detectors"
+	"mawilab/internal/heuristics"
+	"mawilab/internal/mawigen"
+)
+
+// Runner wires the archive, the detector ensemble, the similarity estimator
+// and the combination strategies into a per-day pipeline.
+type Runner struct {
+	Archive    *mawigen.Archive
+	Detectors  []detectors.Detector
+	Estimator  core.EstimatorConfig
+	Strategies []core.Strategy
+	ReportOpts core.ReportOptions
+}
+
+// NewRunner returns a runner with the paper's retained configuration:
+// the four-detector ensemble must be supplied by the caller (usually
+// suite.Standard()).
+func NewRunner(archive *mawigen.Archive, dets []detectors.Detector) *Runner {
+	return &Runner{
+		Archive:   archive,
+		Detectors: dets,
+		Estimator: core.DefaultEstimatorConfig(),
+		Strategies: []core.Strategy{
+			core.NewAverage(), core.NewMinimum(), core.NewMaximum(), core.NewSCANN(),
+		},
+		ReportOpts: core.DefaultReportOptions(),
+	}
+}
+
+// DayResult is everything the evaluation needs from one analyzed day.
+type DayResult struct {
+	Date time.Time
+	// Result is the similarity-estimator output.
+	Result *core.Result
+	// Totals maps detector → number of configurations.
+	Totals map[string]int
+	// Decisions holds each strategy's verdicts, keyed by strategy name.
+	Decisions map[string][]core.Decision
+	// Reports are the labeled communities under the *last* strategy in
+	// Strategies (SCANN by default), carrying rules and heuristics.
+	Reports []core.CommunityReport
+	// Truth is the generator's ground truth for the day.
+	Truth []mawigen.Event
+}
+
+// Day runs the full pipeline for one archive day.
+func (r *Runner) Day(date time.Time) (*DayResult, error) {
+	gen := r.Archive.Day(date)
+	alarms, totals, err := detectors.DetectAll(gen.Trace, r.Detectors)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Estimate(gen.Trace, alarms, r.Estimator)
+	if err != nil {
+		return nil, err
+	}
+	conf := res.Confidences(totals)
+	out := &DayResult{
+		Date:      date,
+		Result:    res,
+		Totals:    totals,
+		Decisions: make(map[string][]core.Decision, len(r.Strategies)),
+		Truth:     gen.Truth,
+	}
+	var lastDecisions []core.Decision
+	for _, s := range r.Strategies {
+		dec, err := s.Classify(res, conf)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s on %s: %w", s.Name(), date.Format("2006-01-02"), err)
+		}
+		out.Decisions[s.Name()] = dec
+		lastDecisions = dec
+	}
+	if lastDecisions == nil {
+		lastDecisions = make([]core.Decision, len(res.Communities))
+	}
+	reports, err := core.BuildReports(gen.Trace, res, lastDecisions, r.ReportOpts)
+	if err != nil {
+		return nil, err
+	}
+	out.Reports = reports
+	return out, nil
+}
+
+// AttackRatio computes the paper's §4.2.1 metric over a subset of
+// communities: the fraction whose Table 1 class is Attack. The subset is
+// chosen by the keep predicate (e.g. "accepted under strategy X").
+func AttackRatio(reports []core.CommunityReport, keep func(i int) bool) float64 {
+	total, attack := 0, 0
+	for i := range reports {
+		if !keep(i) {
+			continue
+		}
+		total++
+		if reports[i].Class == heuristics.Attack {
+			attack++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(attack) / float64(total)
+}
+
+// GainCost is Table 2: the benefit/loss quadrants of a strategy's
+// decisions. Gain counts communities the strategy got right under the
+// Table 1 reading (accepted Attack, rejected non-Attack); Cost counts the
+// mistakes.
+type GainCost struct {
+	GainAcc int // accepted and labeled Attack
+	CostAcc int // accepted but labeled Special/Unknown
+	GainRej int // rejected and labeled Special/Unknown
+	CostRej int // rejected but labeled Attack
+}
+
+// Add accumulates another table.
+func (g *GainCost) Add(o GainCost) {
+	g.GainAcc += o.GainAcc
+	g.CostAcc += o.CostAcc
+	g.GainRej += o.GainRej
+	g.CostRej += o.CostRej
+}
+
+// ComputeGainCost tallies Table 2 for one day under the given decisions.
+// The optional detector filter restricts the count to communities
+// containing at least one alarm from that detector ("" = all).
+func ComputeGainCost(day *DayResult, decisions []core.Decision, detector string) GainCost {
+	var gc GainCost
+	for i := range day.Reports {
+		if detector != "" && !communityHasDetector(day.Result, i, detector) {
+			continue
+		}
+		attack := day.Reports[i].Class == heuristics.Attack
+		if decisions[i].Accepted {
+			if attack {
+				gc.GainAcc++
+			} else {
+				gc.CostAcc++
+			}
+		} else {
+			if attack {
+				gc.CostRej++
+			} else {
+				gc.GainRej++
+			}
+		}
+	}
+	return gc
+}
+
+func communityHasDetector(res *core.Result, ci int, detector string) bool {
+	for _, ai := range res.Communities[ci].Alarms {
+		if res.Alarms[ai].Detector == detector {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectedBy reports whether community ci contains an alarm from detector.
+func DetectedBy(res *core.Result, ci int, detector string) bool {
+	return communityHasDetector(res, ci, detector)
+}

@@ -1,0 +1,157 @@
+package graphx
+
+// Louvain runs the Louvain modularity-optimization method and returns a
+// community id for every node (ids are dense, 0-based, in order of first
+// appearance). The implementation is deterministic: nodes are scanned in
+// index order and ties in modularity gain keep the current community.
+//
+// The method alternates two phases until modularity stops improving:
+// local moving (each node greedily joins the neighboring community with the
+// largest gain) and aggregation (each community collapses into one node,
+// with internal weight becoming a self-loop).
+func (g *Graph) Louvain() []int {
+	// assignment maps original nodes to communities of the current level.
+	assignment := make([]int, g.n)
+	for i := range assignment {
+		assignment[i] = i
+	}
+	cur := g
+	for {
+		comm, moved := cur.localMove()
+		if !moved {
+			break
+		}
+		comm = compactIDs(comm)
+		// Fold this level's communities into the cumulative assignment.
+		for i := range assignment {
+			assignment[i] = comm[assignment[i]]
+		}
+		next := cur.aggregate(comm)
+		if next.n == cur.n {
+			break // no aggregation progress
+		}
+		cur = next
+	}
+	return compactIDs(assignment)
+}
+
+// localMove runs repeated greedy passes and returns the per-node community
+// plus whether any node changed community.
+func (g *Graph) localMove() (comm []int, moved bool) {
+	comm = make([]int, g.n)
+	for i := range comm {
+		comm[i] = i
+	}
+	m2 := 2 * g.total // 2m
+	if m2 == 0 {
+		return comm, false
+	}
+	deg := make([]float64, g.n)
+	sumTot := make([]float64, g.n) // total degree per community
+	for i := 0; i < g.n; i++ {
+		deg[i] = g.Degree(i)
+		sumTot[i] = deg[i]
+	}
+	// neighWeight[c] accumulates k_{i,in} for candidate community c.
+	neighWeight := make(map[int]float64)
+	for pass := 0; pass < 100; pass++ {
+		passMoved := false
+		for u := 0; u < g.n; u++ {
+			cu := comm[u]
+			for c := range neighWeight {
+				delete(neighWeight, c)
+			}
+			for v, w := range g.adj[u] {
+				neighWeight[comm[v]] += w
+			}
+			// Remove u from its community for the comparison.
+			sumTot[cu] -= deg[u]
+			// Gain of joining community c (up to constants):
+			// k_{i,in}(c) − sumTot[c]·k_i/(2m).
+			bestC := cu
+			bestGain := neighWeight[cu] - sumTot[cu]*deg[u]/m2
+			for c, kin := range neighWeight {
+				if c == cu {
+					continue
+				}
+				gain := kin - sumTot[c]*deg[u]/m2
+				// Strict improvement with deterministic tie-break on id.
+				if gain > bestGain+1e-12 || (gain > bestGain-1e-12 && c < bestC && gain >= bestGain) {
+					bestGain = gain
+					bestC = c
+				}
+			}
+			sumTot[bestC] += deg[u]
+			if bestC != cu {
+				comm[u] = bestC
+				passMoved = true
+				moved = true
+			}
+		}
+		if !passMoved {
+			break
+		}
+	}
+	return comm, moved
+}
+
+// aggregate collapses each community of comm (dense ids) into a single node.
+func (g *Graph) aggregate(comm []int) *Graph {
+	nc := 0
+	for _, c := range comm {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	out := New(nc)
+	for u := 0; u < g.n; u++ {
+		cu := comm[u]
+		if g.self[u] > 0 {
+			out.AddEdge(cu, cu, g.self[u])
+		}
+		for v, w := range g.adj[u] {
+			if v < u {
+				continue // count each undirected edge once
+			}
+			cv := comm[v]
+			out.AddEdge(cu, cv, w)
+		}
+	}
+	return out
+}
+
+// compactIDs renumbers arbitrary community ids densely, in order of first
+// appearance, which keeps outputs deterministic across runs.
+func compactIDs(comm []int) []int {
+	next := 0
+	remap := make(map[int]int, len(comm))
+	out := make([]int, len(comm))
+	for i, c := range comm {
+		id, ok := remap[c]
+		if !ok {
+			id = next
+			remap[c] = id
+			next++
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// CommunitySizes returns the node count of each community id.
+func CommunitySizes(comm []int) map[int]int {
+	sizes := make(map[int]int)
+	for _, c := range comm {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// Members returns the node lists per community id, each in ascending order.
+func Members(comm []int) map[int][]int {
+	m := make(map[int][]int)
+	for i, c := range comm {
+		m[c] = append(m[c], i)
+	}
+	return m
+}

@@ -1,0 +1,205 @@
+package heuristics
+
+import (
+	"testing"
+
+	"mawilab/internal/trace"
+)
+
+// mk builds n TCP packets to the given dst port with the given flags.
+func mkTCP(n int, dport uint16, flags trace.TCPFlags) []trace.Packet {
+	out := make([]trace.Packet, n)
+	for i := range out {
+		out[i] = trace.Packet{
+			Src: trace.MakeIPv4(10, 0, 0, byte(i%250)), Dst: trace.MakeIPv4(10, 0, 1, 1),
+			SrcPort: uint16(1024 + i), DstPort: dport, Proto: trace.TCP, Flags: flags, Len: 40,
+		}
+	}
+	return out
+}
+
+func classify(pkts []trace.Packet) (Class, Category) {
+	s := NewSummary()
+	for i := range pkts {
+		s.Observe(&pkts[i])
+	}
+	return s.Classify()
+}
+
+func TestSasserPorts(t *testing.T) {
+	for _, port := range []uint16{1023, 5554, 9898} {
+		cls, cat := classify(mkTCP(20, port, trace.SYN))
+		if cls != Attack || cat != CatSasser {
+			t.Errorf("port %d: %v/%v, want Attack/Sasser", port, cls, cat)
+		}
+	}
+}
+
+func TestRPCAndSMB(t *testing.T) {
+	if cls, cat := classify(mkTCP(20, 135, trace.SYN)); cls != Attack || cat != CatRPC {
+		t.Errorf("135/tcp: %v/%v", cls, cat)
+	}
+	if cls, cat := classify(mkTCP(20, 445, trace.SYN)); cls != Attack || cat != CatSMB {
+		t.Errorf("445/tcp: %v/%v", cls, cat)
+	}
+}
+
+func TestPing(t *testing.T) {
+	pkts := make([]trace.Packet, 30)
+	for i := range pkts {
+		pkts[i] = trace.Packet{
+			Src: trace.MakeIPv4(1, 1, 1, 1), Dst: trace.MakeIPv4(2, 2, 2, 2),
+			SrcPort: 8, DstPort: 0, // echo request
+			Proto: trace.ICMP, Len: 64,
+		}
+	}
+	if cls, cat := classify(pkts); cls != Attack || cat != CatPing {
+		t.Errorf("icmp flood: %v/%v", cls, cat)
+	}
+	// A handful of ICMP packets is not a ping flood.
+	if cls, _ := classify(pkts[:4]); cls == Attack {
+		t.Error("4 ICMP packets should not be an attack")
+	}
+}
+
+func TestOtherAttackSynFlood(t *testing.T) {
+	// SYN flood on a random high port: >7 packets, SYN ratio 100%.
+	cls, cat := classify(mkTCP(50, 31337, trace.SYN))
+	if cls != Attack || cat != CatOtherAttack {
+		t.Errorf("syn flood: %v/%v, want Attack/Other", cls, cat)
+	}
+	// RST storm likewise.
+	cls, cat = classify(mkTCP(50, 31337, trace.RST))
+	if cls != Attack || cat != CatOtherAttack {
+		t.Errorf("rst storm: %v/%v", cls, cat)
+	}
+}
+
+func TestOtherAttackHTTPSyn(t *testing.T) {
+	// http traffic with ≥30% SYN is an attack even below the 50% flag bar:
+	// build 60% ACK data + 40% SYN on port 80.
+	pkts := append(mkTCP(12, 80, trace.SYN), mkTCP(18, 80, trace.ACK|trace.PSH)...)
+	cls, cat := classify(pkts)
+	if cls != Attack || cat != CatOtherAttack {
+		t.Errorf("http syn: %v/%v, want Attack/Other", cls, cat)
+	}
+}
+
+func TestNetBIOS(t *testing.T) {
+	pkts := make([]trace.Packet, 20)
+	for i := range pkts {
+		pkts[i] = trace.Packet{
+			Src: trace.MakeIPv4(10, 0, 0, 1), Dst: trace.MakeIPv4(10, 0, 1, byte(i)),
+			SrcPort: uint16(1024 + i), DstPort: 137, Proto: trace.UDP, Len: 78,
+		}
+	}
+	// NetBIOS probes over UDP: SYN rules don't apply, port 137 dominates.
+	if cls, cat := classify(pkts); cls != Attack || cat != CatNetBIOS {
+		t.Errorf("netbios: %v/%v", cls, cat)
+	}
+	if cls, cat := classify(mkTCP(20, 139, trace.ACK|trace.PSH)); cls != Attack || cat != CatNetBIOS {
+		t.Errorf("139/tcp: %v/%v", cls, cat)
+	}
+}
+
+func TestSpecialHTTP(t *testing.T) {
+	// Normal http: mostly ACK/PSH, some SYN handshakes (below 30%).
+	pkts := append(mkTCP(2, 80, trace.SYN), mkTCP(28, 80, trace.ACK|trace.PSH)...)
+	cls, cat := classify(pkts)
+	if cls != Special || cat != CatHTTP {
+		t.Errorf("http: %v/%v, want Special/Http", cls, cat)
+	}
+	pkts = append(mkTCP(1, 8080, trace.SYN), mkTCP(20, 8080, trace.ACK)...)
+	if cls, cat := classify(pkts); cls != Special || cat != CatHTTP {
+		t.Errorf("8080: %v/%v", cls, cat)
+	}
+}
+
+func TestSpecialWellKnown(t *testing.T) {
+	// DNS over UDP.
+	pkts := make([]trace.Packet, 20)
+	for i := range pkts {
+		pkts[i] = trace.Packet{
+			Src: trace.MakeIPv4(10, 0, 0, 1), Dst: trace.MakeIPv4(10, 0, 1, 1),
+			SrcPort: uint16(50000 + i), DstPort: 53, Proto: trace.UDP, Len: 80,
+		}
+	}
+	if cls, cat := classify(pkts); cls != Special || cat != CatWellKnown {
+		t.Errorf("dns: %v/%v", cls, cat)
+	}
+	// SSH with low SYN share.
+	ssh := append(mkTCP(1, 22, trace.SYN), mkTCP(30, 22, trace.ACK|trace.PSH)...)
+	if cls, cat := classify(ssh); cls != Special || cat != CatWellKnown {
+		t.Errorf("ssh: %v/%v", cls, cat)
+	}
+}
+
+func TestUnknown(t *testing.T) {
+	// Mixed random-port low-flag traffic.
+	pkts := make([]trace.Packet, 30)
+	for i := range pkts {
+		pkts[i] = trace.Packet{
+			Src: trace.MakeIPv4(10, 0, 0, byte(i)), Dst: trace.MakeIPv4(10, 0, 1, byte(i)),
+			SrcPort: uint16(20000 + i*13), DstPort: uint16(30000 + i*17),
+			Proto: trace.TCP, Flags: trace.ACK, Len: 1400,
+		}
+	}
+	if cls, cat := classify(pkts); cls != Unknown || cat != CatUnknown {
+		t.Errorf("p2p-ish: %v/%v, want Unknown", cls, cat)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	if cls, cat := NewSummary().Classify(); cls != Unknown || cat != CatUnknown {
+		t.Errorf("empty: %v/%v", cls, cat)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	// Sasser port traffic that is also SYN-heavy must label Sasser (row
+	// order), not Other.
+	cls, cat := classify(mkTCP(100, 5554, trace.SYN))
+	if cls != Attack || cat != CatSasser {
+		t.Errorf("priority: %v/%v, want Sasser first", cls, cat)
+	}
+}
+
+func TestSummarizeFromTrace(t *testing.T) {
+	tr := &trace.Trace{}
+	for _, p := range mkTCP(10, 80, trace.ACK) {
+		tr.Append(p)
+	}
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	cls, _ := ClassifyPackets(tr, idx)
+	if cls != Special {
+		t.Errorf("ClassifyPackets = %v, want Special", cls)
+	}
+	s := Summarize(tr, idx[:3])
+	if s.Packets != 3 {
+		t.Errorf("partial summarize packets = %d", s.Packets)
+	}
+}
+
+func TestClassAndCategoryStrings(t *testing.T) {
+	if Attack.String() != "Attack" || Special.String() != "Special" || Unknown.String() != "Unknown" {
+		t.Error("class names wrong")
+	}
+	names := map[Category]string{
+		CatSasser: "Sasser", CatRPC: "RPC", CatSMB: "SMB", CatPing: "Ping",
+		CatOtherAttack: "Other", CatNetBIOS: "NetBIOS", CatHTTP: "Http",
+		CatWellKnown: "dns-ftp-ssh", CatUnknown: "Unknown",
+	}
+	for cat, want := range names {
+		if cat.String() != want {
+			t.Errorf("%d.String() = %q, want %q", cat, cat.String(), want)
+		}
+	}
+	for _, cat := range []Category{CatSasser, CatRPC, CatSMB, CatPing, CatOtherAttack, CatNetBIOS} {
+		if cat.Class() != Attack {
+			t.Errorf("%v should be Attack", cat)
+		}
+	}
+	if CatHTTP.Class() != Special || CatWellKnown.Class() != Special || CatUnknown.Class() != Unknown {
+		t.Error("class mapping wrong")
+	}
+}

@@ -1,0 +1,169 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi method. It returns eigenvalues in descending order and
+// the matching orthonormal eigenvectors as the columns of V.
+//
+// Jacobi is chosen over QR for its simplicity and unconditional stability on
+// the small (≤ 64×64) matrices this pipeline produces.
+func EigenSym(a *Matrix) (values []float64, v *Matrix, err error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, nil, fmt.Errorf("linalg: EigenSym needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	// Verify symmetry within tolerance.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Abs(a.At(i, j) - a.At(j, i))
+			scale := math.Max(math.Abs(a.At(i, j)), math.Abs(a.At(j, i)))
+			if d > 1e-8*(1+scale) {
+				return nil, nil, fmt.Errorf("linalg: matrix not symmetric at (%d,%d): %g vs %g", i, j, a.At(i, j), a.At(j, i))
+			}
+		}
+	}
+	w := a.Clone()
+	v = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation J(p,q,θ) on both sides of w.
+				for k := 0; k < n; k++ {
+					akp := w.At(k, p)
+					akq := w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := w.At(p, k)
+					aqk := w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return values[order[x]] > values[order[y]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range order {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// SVDThin computes a thin singular value decomposition A = U Σ Vᵀ for a
+// matrix with Rows ≥ Cols, via the eigendecomposition of AᵀA. Singular
+// values come back in descending order; U is Rows×k, V is Cols×k, where k
+// is the number of singular values above rankTol·σ₁ (all Cols when
+// rankTol ≤ 0).
+//
+// Because σ is recovered as √λ of the Gram matrix, its numerical noise
+// floor is about √eps·σ₁ ≈ 1e-8·σ₁; rankTol below ~1e-7 cannot reliably
+// separate noise from signal.
+func SVDThin(a *Matrix, rankTol float64) (u *Matrix, sigma []float64, v *Matrix, err error) {
+	if a.Rows < a.Cols {
+		return nil, nil, nil, fmt.Errorf("linalg: SVDThin needs rows ≥ cols, got %dx%d", a.Rows, a.Cols)
+	}
+	g := a.Gram()
+	evals, evecs, err := EigenSym(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n := a.Cols
+	all := make([]float64, n)
+	for i, l := range evals {
+		if l < 0 {
+			l = 0 // numerical noise
+		}
+		all[i] = math.Sqrt(l)
+	}
+	k := n
+	if rankTol > 0 && n > 0 {
+		cut := rankTol * all[0]
+		k = 0
+		for _, s := range all {
+			if s > cut {
+				k++
+			}
+		}
+		if k == 0 && all[0] > 0 {
+			k = 1
+		}
+	}
+	sigma = all[:k]
+	v = NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			v.Set(i, j, evecs.At(i, j))
+		}
+	}
+	// U = A V Σ⁻¹ column by column.
+	u = NewMatrix(a.Rows, k)
+	for j := 0; j < k; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = v.At(i, j)
+		}
+		av := a.MulVec(col)
+		if sigma[j] > 0 {
+			Scale(av, 1/sigma[j])
+		}
+		for i := 0; i < a.Rows; i++ {
+			u.Set(i, j, av[i])
+		}
+	}
+	return u, sigma, v, nil
+}

@@ -1,0 +1,100 @@
+// Package sketch implements the random-projection hashing ("sketches") that
+// the PCA-based and Gamma-based detectors use to fold the IP address space
+// into a small number of bins (Li et al. IMC'06, Dewaele et al. LSAD'07).
+//
+// A Sketch is a seeded universal hash from IPv4 addresses to [0, Bins).
+// Running the same detector over several independently-seeded sketches and
+// intersecting the suspicious bins recovers the original addresses — the
+// trick that makes PCA able to report *which* source caused an anomaly.
+package sketch
+
+import "mawilab/internal/trace"
+
+// Sketch hashes IPv4 addresses into Bins buckets with a seeded 64-bit
+// mix function (splitmix64 finalizer), giving near-uniform spread and
+// independence across seeds.
+type Sketch struct {
+	Bins int
+	Seed uint64
+}
+
+// New returns a sketch with the given number of bins and seed. Bins must be
+// positive.
+func New(bins int, seed uint64) *Sketch {
+	if bins <= 0 {
+		panic("sketch: bins must be positive")
+	}
+	return &Sketch{Bins: bins, Seed: seed}
+}
+
+// Bin returns the bucket of ip in [0, Bins).
+func (s *Sketch) Bin(ip trace.IPv4) int {
+	return int(Mix64(uint64(ip)^s.Seed) % uint64(s.Bins))
+}
+
+// Mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit mixer
+// used as the universal hash behind every sketch.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Group collects, for one sketch, the set of addresses that fell into each
+// bin — used to translate "bin b is anomalous" back into candidate hosts.
+type Group struct {
+	sketch *Sketch
+	byBin  []map[trace.IPv4]int // address → packet count
+}
+
+// NewGroup returns an empty reverse index for s.
+func NewGroup(s *Sketch) *Group {
+	g := &Group{sketch: s, byBin: make([]map[trace.IPv4]int, s.Bins)}
+	for i := range g.byBin {
+		g.byBin[i] = make(map[trace.IPv4]int)
+	}
+	return g
+}
+
+// Observe records one packet from ip.
+func (g *Group) Observe(ip trace.IPv4) int {
+	b := g.sketch.Bin(ip)
+	g.byBin[b][ip]++
+	return b
+}
+
+// Hosts returns the addresses observed in bin b with their packet counts.
+func (g *Group) Hosts(b int) map[trace.IPv4]int { return g.byBin[b] }
+
+// TopHosts returns up to k addresses from bin b ordered by descending count
+// (ties broken by address for determinism).
+func (g *Group) TopHosts(b, k int) []trace.IPv4 {
+	type hc struct {
+		ip trace.IPv4
+		n  int
+	}
+	hosts := make([]hc, 0, len(g.byBin[b]))
+	for ip, n := range g.byBin[b] {
+		hosts = append(hosts, hc{ip, n})
+	}
+	// insertion sort — bins hold few distinct hosts
+	for i := 1; i < len(hosts); i++ {
+		for j := i; j > 0; j-- {
+			a, b2 := hosts[j-1], hosts[j]
+			if b2.n > a.n || (b2.n == a.n && b2.ip < a.ip) {
+				hosts[j-1], hosts[j] = hosts[j], hosts[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(hosts) {
+		k = len(hosts)
+	}
+	out := make([]trace.IPv4, k)
+	for i := 0; i < k; i++ {
+		out[i] = hosts[i].ip
+	}
+	return out
+}

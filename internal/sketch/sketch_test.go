@@ -1,0 +1,136 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mawilab/internal/trace"
+)
+
+func TestBinRange(t *testing.T) {
+	s := New(32, 42)
+	f := func(ip uint32) bool {
+		b := s.Bin(trace.IPv4(ip))
+		return b >= 0 && b < 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinDeterministic(t *testing.T) {
+	a := New(16, 7)
+	b := New(16, 7)
+	for ip := uint32(0); ip < 1000; ip++ {
+		if a.Bin(trace.IPv4(ip)) != b.Bin(trace.IPv4(ip)) {
+			t.Fatal("same seed must give same binning")
+		}
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	// Different seeds should disagree on a substantial fraction of inputs.
+	a := New(16, 1)
+	b := New(16, 2)
+	same := 0
+	const n = 10000
+	for ip := uint32(0); ip < n; ip++ {
+		if a.Bin(trace.IPv4(ip)) == b.Bin(trace.IPv4(ip)) {
+			same++
+		}
+	}
+	frac := float64(same) / n
+	if math.Abs(frac-1.0/16) > 0.02 {
+		t.Errorf("seed collision fraction = %f, want ~1/16", frac)
+	}
+}
+
+func TestBinUniformity(t *testing.T) {
+	s := New(8, 99)
+	counts := make([]int, 8)
+	const n = 80000
+	for ip := uint32(0); ip < n; ip++ {
+		counts[s.Bin(trace.IPv4(ip*2654435761))]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.125) > 0.01 {
+			t.Errorf("bin %d holds %f of mass, want ~0.125", b, frac)
+		}
+	}
+}
+
+func TestNewPanicsOnBadBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestGroupObserveAndHosts(t *testing.T) {
+	s := New(4, 5)
+	g := NewGroup(s)
+	ip := trace.MakeIPv4(10, 0, 0, 1)
+	b := g.Observe(ip)
+	g.Observe(ip)
+	hosts := g.Hosts(b)
+	if hosts[ip] != 2 {
+		t.Errorf("count = %d, want 2", hosts[ip])
+	}
+}
+
+func TestTopHostsOrdering(t *testing.T) {
+	s := New(1, 3) // single bin: everything collides
+	g := NewGroup(s)
+	heavy := trace.MakeIPv4(1, 1, 1, 1)
+	light := trace.MakeIPv4(2, 2, 2, 2)
+	for i := 0; i < 10; i++ {
+		g.Observe(heavy)
+	}
+	g.Observe(light)
+	top := g.TopHosts(0, 5)
+	if len(top) != 2 || top[0] != heavy || top[1] != light {
+		t.Errorf("TopHosts = %v", top)
+	}
+	if got := g.TopHosts(0, 1); len(got) != 1 || got[0] != heavy {
+		t.Errorf("TopHosts k=1 = %v", got)
+	}
+}
+
+func TestTopHostsDeterministicTies(t *testing.T) {
+	s := New(1, 3)
+	g := NewGroup(s)
+	for oct := byte(1); oct <= 20; oct++ {
+		g.Observe(trace.MakeIPv4(10, 0, 0, oct))
+	}
+	a := g.TopHosts(0, 20)
+	b := g.TopHosts(0, 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TopHosts not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatal("equal-count hosts should be ordered by address")
+		}
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip ~half the output bits.
+	base := Mix64(0x123456789abcdef)
+	flipped := Mix64(0x123456789abcdee)
+	diff := base ^ flipped
+	ones := 0
+	for diff != 0 {
+		ones += int(diff & 1)
+		diff >>= 1
+	}
+	if ones < 16 || ones > 48 {
+		t.Errorf("avalanche bits = %d, want near 32", ones)
+	}
+}

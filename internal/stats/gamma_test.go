@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleGamma draws from Gamma(alpha, beta) using Marsaglia-Tsang.
+func sampleGamma(rng *rand.Rand, alpha, beta float64) float64 {
+	if alpha < 1 {
+		u := rng.Float64()
+		return sampleGamma(rng, alpha+1, beta) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * beta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * beta
+		}
+	}
+}
+
+func TestFitGammaMomentsRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, want := range []GammaParams{{2, 3}, {0.5, 10}, {8, 0.25}} {
+		sample := make([]float64, 20000)
+		for i := range sample {
+			sample[i] = sampleGamma(rng, want.Alpha, want.Beta)
+		}
+		got, err := FitGammaMoments(sample)
+		if err != nil {
+			t.Fatalf("fit(%+v): %v", want, err)
+		}
+		if math.Abs(got.Alpha-want.Alpha) > 0.25*want.Alpha {
+			t.Errorf("alpha = %f, want ~%f", got.Alpha, want.Alpha)
+		}
+		if math.Abs(got.Beta-want.Beta) > 0.25*want.Beta {
+			t.Errorf("beta = %f, want ~%f", got.Beta, want.Beta)
+		}
+	}
+}
+
+func TestFitGammaMLERecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	want := GammaParams{Alpha: 3, Beta: 2}
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = sampleGamma(rng, want.Alpha, want.Beta)
+	}
+	got, err := FitGammaMLE(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Alpha-want.Alpha) > 0.15*want.Alpha {
+		t.Errorf("MLE alpha = %f, want ~%f", got.Alpha, want.Alpha)
+	}
+	if math.Abs(got.Beta-want.Beta) > 0.15*want.Beta {
+		t.Errorf("MLE beta = %f, want ~%f", got.Beta, want.Beta)
+	}
+	// MLE should be at least as close on alpha as moments for gamma data.
+	mom, _ := FitGammaMoments(sample)
+	if math.Abs(got.Alpha-want.Alpha) > math.Abs(mom.Alpha-want.Alpha)+0.2 {
+		t.Errorf("MLE (%f) much worse than moments (%f)", got.Alpha, mom.Alpha)
+	}
+}
+
+func TestFitGammaDegenerate(t *testing.T) {
+	if _, err := FitGammaMoments(nil); err != ErrDegenerate {
+		t.Errorf("nil sample: err = %v", err)
+	}
+	if _, err := FitGammaMoments([]float64{5}); err != ErrDegenerate {
+		t.Errorf("singleton: err = %v", err)
+	}
+	if _, err := FitGammaMoments([]float64{0, 0, 0}); err != ErrDegenerate {
+		t.Errorf("all-zero: err = %v", err)
+	}
+	if _, err := FitGammaMLE([]float64{1, 0}); err != ErrDegenerate {
+		t.Errorf("one positive value: err = %v", err)
+	}
+}
+
+func TestFitGammaMLEConstantSample(t *testing.T) {
+	// Identical positive values: s == 0 path falls back to moments, which is
+	// degenerate (zero variance) — expect an error, not a panic.
+	if _, err := FitGammaMLE([]float64{4, 4, 4, 4}); err == nil {
+		t.Error("constant sample should not fit")
+	}
+}
+
+func TestDigammaKnownValues(t *testing.T) {
+	// ψ(1) = -γ (Euler-Mascheroni), ψ(2) = 1-γ, ψ(0.5) = -γ-2ln2.
+	const gamma = 0.5772156649015329
+	cases := []struct{ x, want float64 }{
+		{1, -gamma},
+		{2, 1 - gamma},
+		{0.5, -gamma - 2*math.Ln2},
+		{10, 2.2517525890667214},
+	}
+	for _, c := range cases {
+		if got := Digamma(c.x); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("Digamma(%g) = %.10f, want %.10f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	// ψ'(1) = π²/6, ψ'(0.5) = π²/2.
+	cases := []struct{ x, want float64 }{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{5, 0.22132295573711533},
+	}
+	for _, c := range cases {
+		if got := Trigamma(c.x); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("Trigamma(%g) = %.10f, want %.10f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaDistance(t *testing.T) {
+	ref := GammaParams{Alpha: 2, Beta: 3}
+	same := GammaDistance(ref, ref, 1, 1)
+	if same != 0 {
+		t.Errorf("distance to self = %f", same)
+	}
+	far := GammaDistance(GammaParams{Alpha: 4, Beta: 3}, ref, 1, 1)
+	if far != 2 {
+		t.Errorf("distance = %f, want 2", far)
+	}
+	// Zero scales must not divide by zero.
+	if d := GammaDistance(GammaParams{3, 3}, ref, 0, 0); math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("zero-scale distance = %f", d)
+	}
+}
+
+func TestGammaParamsMoments(t *testing.T) {
+	g := GammaParams{Alpha: 2, Beta: 3}
+	if g.Mean() != 6 || g.Variance() != 18 {
+		t.Errorf("mean=%f var=%f, want 6/18", g.Mean(), g.Variance())
+	}
+}

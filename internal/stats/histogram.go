@@ -1,0 +1,154 @@
+// Package stats provides the statistical primitives the MAWILab pipeline is
+// built on: discrete histograms and Kullback-Leibler divergence (the KL
+// detector), Gamma-distribution fitting (the Gamma detector), empirical
+// CDF/PDF series (every evaluation figure), descriptive statistics, and the
+// weighted smoothing used to render Fig. 4.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a discrete distribution over uint64 keys (hashed traffic
+// features, port numbers, sketch bins...). The zero value is empty and ready
+// to use.
+type Histogram struct {
+	counts map[uint64]float64
+	total  float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[uint64]float64)}
+}
+
+// Add increments the bin for key by weight (typically 1 per packet).
+func (h *Histogram) Add(key uint64, weight float64) {
+	if h.counts == nil {
+		h.counts = make(map[uint64]float64)
+	}
+	h.counts[key] += weight
+	h.total += weight
+}
+
+// Total returns the total weight in the histogram.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Bins returns the number of non-empty bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// P returns the empirical probability of key (0 when the histogram is
+// empty).
+func (h *Histogram) P(key uint64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.counts[key] / h.total
+}
+
+// Keys returns all non-empty bin keys in ascending order.
+func (h *Histogram) Keys() []uint64 {
+	keys := make([]uint64, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Entropy returns the Shannon entropy in bits.
+func (h *Histogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range h.counts {
+		if c > 0 {
+			p := c / h.total
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+// KLDivergence returns D(h || q) in bits, computed over the union of the two
+// supports with additive (Laplace) smoothing eps so that the divergence is
+// finite even when supports differ — the situation that signals an anomaly
+// to the KL-based detector (a brand-new port or host appearing).
+func (h *Histogram) KLDivergence(q *Histogram, eps float64) float64 {
+	if h.total == 0 || q.total == 0 {
+		return 0
+	}
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	support := make(map[uint64]struct{}, len(h.counts)+len(q.counts))
+	for k := range h.counts {
+		support[k] = struct{}{}
+	}
+	for k := range q.counts {
+		support[k] = struct{}{}
+	}
+	n := float64(len(support))
+	d := 0.0
+	for k := range support {
+		p := (h.counts[k] + eps) / (h.total + eps*n)
+		qq := (q.counts[k] + eps) / (q.total + eps*n)
+		d += p * math.Log2(p/qq)
+	}
+	if d < 0 {
+		d = 0 // guard tiny negative rounding
+	}
+	return d
+}
+
+// TopK returns the k heaviest bins as (key, weight) pairs, heaviest first.
+// Ties break on the smaller key for determinism.
+func (h *Histogram) TopK(k int) []struct {
+	Key    uint64
+	Weight float64
+} {
+	type kv struct {
+		Key    uint64
+		Weight float64
+	}
+	all := make([]kv, 0, len(h.counts))
+	for key, w := range h.counts {
+		all = append(all, kv{key, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Weight != all[j].Weight {
+			return all[i].Weight > all[j].Weight
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]struct {
+		Key    uint64
+		Weight float64
+	}, k)
+	for i := 0; i < k; i++ {
+		out[i] = struct {
+			Key    uint64
+			Weight float64
+		}{all[i].Key, all[i].Weight}
+	}
+	return out
+}
+
+// Reset empties the histogram, retaining allocated capacity.
+func (h *Histogram) Reset() {
+	for k := range h.counts {
+		delete(h.counts, k)
+	}
+	h.total = 0
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("histogram{bins=%d total=%.0f H=%.2f}", h.Bins(), h.total, h.Entropy())
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDF(t *testing.T) {
+	s := ECDF("cdf", []float64{1, 2, 2, 3})
+	if len(s.Points) != 3 {
+		t.Fatalf("ECDF over 3 distinct values has %d points", len(s.Points))
+	}
+	want := []Point{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	for i, p := range s.Points {
+		if p != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+	if len(ECDF("empty", nil).Points) != 0 {
+		t.Error("empty ECDF should have no points")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		s := ECDF("p", xs)
+		prevX, prevY := math.Inf(-1), 0.0
+		for _, p := range s.Points {
+			if p.X <= prevX || p.Y < prevY || p.Y > 1+1e-12 {
+				return false
+			}
+			prevX, prevY = p.X, p.Y
+		}
+		if len(s.Points) > 0 && math.Abs(s.Points[len(s.Points)-1].Y-1) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.2, 0.5, 0.9, 0.95}
+	s := PDF("pdf", xs, 0, 1, 10)
+	if len(s.Points) != 10 {
+		t.Fatalf("PDF has %d bins, want 10", len(s.Points))
+	}
+	integral := 0.0
+	for _, p := range s.Points {
+		integral += p.Y * 0.1
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("PDF integrates to %f, want 1", integral)
+	}
+}
+
+func TestPDFOutOfRangeIgnored(t *testing.T) {
+	s := PDF("pdf", []float64{-5, 0.5, 99}, 0, 1, 4)
+	integral := 0.0
+	for _, p := range s.Points {
+		integral += p.Y * 0.25
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("PDF over in-range mass integrates to %f", integral)
+	}
+}
+
+func TestPDFEdgeCases(t *testing.T) {
+	if len(PDF("x", nil, 0, 1, 10).Points) != 0 {
+		t.Error("empty input should yield empty series")
+	}
+	if len(PDF("x", []float64{1}, 1, 0, 10).Points) != 0 {
+		t.Error("inverted range should yield empty series")
+	}
+	if len(PDF("x", []float64{5, 6}, 0, 1, 10).Points) != 0 {
+		t.Error("all-out-of-range should yield empty series")
+	}
+	// Value exactly at hi must land in the last bin, not panic.
+	s := PDF("x", []float64{1.0}, 0, 1, 4)
+	if len(s.Points) != 4 || s.Points[3].Y == 0 {
+		t.Error("x==hi should count in last bin")
+	}
+}
+
+func TestMass(t *testing.T) {
+	s := Mass("deg", []float64{1, 2, 2, 4})
+	if len(s.Points) != 3 {
+		t.Fatalf("Mass has %d points", len(s.Points))
+	}
+	total := 0.0
+	for _, p := range s.Points {
+		total += p.Y
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("mass sums to %f", total)
+	}
+	if s.Points[1].X != 2 || s.Points[1].Y != 0.5 {
+		t.Errorf("Mass point = %+v", s.Points[1])
+	}
+}
+
+func TestSmoothPreservesConstant(t *testing.T) {
+	s := Series{Name: "c"}
+	for i := 1; i <= 20; i++ {
+		s.Points = append(s.Points, Point{X: float64(i), Y: 7})
+	}
+	sm := Smooth(s, 0.5)
+	for _, p := range sm.Points {
+		if math.Abs(p.Y-7) > 1e-9 {
+			t.Errorf("smoothing moved constant series: %+v", p)
+		}
+	}
+}
+
+func TestSmoothReducesNoise(t *testing.T) {
+	s := Series{Name: "n"}
+	for i := 1; i <= 40; i++ {
+		y := 10.0
+		if i%2 == 0 {
+			y = 12
+		}
+		s.Points = append(s.Points, Point{X: float64(i), Y: y})
+	}
+	sm := Smooth(s, 0.3)
+	varBefore := varOf(s)
+	varAfter := varOf(sm)
+	if varAfter >= varBefore {
+		t.Errorf("smoothing did not reduce variance: %f -> %f", varBefore, varAfter)
+	}
+}
+
+func varOf(s Series) float64 {
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ys[i] = p.Y
+	}
+	_, v := MeanVar(ys)
+	return v
+}
+
+func TestSmoothPassThrough(t *testing.T) {
+	s := Series{Points: []Point{{1, 1}, {2, 2}}}
+	if got := Smooth(s, 0.5); len(got.Points) != 2 {
+		t.Error("short series should pass through")
+	}
+	if got := Smooth(s, 0); len(got.Points) != 2 {
+		t.Error("zero bandwidth should pass through")
+	}
+	// Non-positive X falls back to linear-space smoothing.
+	lin := Series{Points: []Point{{-1, 1}, {0, 2}, {1, 3}, {2, 4}}}
+	if got := Smooth(lin, 1); len(got.Points) != 4 {
+		t.Error("linear fallback should smooth all points")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	a := Series{Name: "a", Points: []Point{{1, 10}, {2, 20}}}
+	b := Series{Name: "b", Points: []Point{{2, 200}}}
+	out := RenderTable("title", "x", a, b)
+	if !strings.Contains(out, "# title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("missing series names")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, two x rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Errorf("x=1 row should have '-' for series b: %q", lines[2])
+	}
+}

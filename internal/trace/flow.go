@@ -1,0 +1,115 @@
+package trace
+
+import "fmt"
+
+// FlowKey identifies a unidirectional flow: the classic 5-tuple. It is a
+// comparable value type, so it can be used directly as a map key and
+// compared with ==, following the gopacket Flow idiom.
+type FlowKey struct {
+	Src     IPv4
+	Dst     IPv4
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// Flow returns the unidirectional flow key of the packet.
+func (p *Packet) Flow() FlowKey {
+	return FlowKey{Src: p.Src, Dst: p.Dst, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Proto}
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// Canonical returns the bidirectional representative of the flow: of the two
+// directions, the lexicographically smaller (Src, SrcPort) endpoint comes
+// first. Both directions of a conversation map to the same canonical key,
+// which is how the similarity estimator implements the "bidirectional flow"
+// traffic granularity.
+func (k FlowKey) Canonical() FlowKey {
+	if k.Src > k.Dst || (k.Src == k.Dst && k.SrcPort > k.DstPort) {
+		return k.Reverse()
+	}
+	return k
+}
+
+// fnv64 constants for FastHash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// FastHash returns a fast non-cryptographic hash of the flow key. Like
+// gopacket's Flow.FastHash, hashing a key and its Reverse yields the same
+// value, so a hash can shard bidirectional conversations consistently.
+func (k FlowKey) FastHash() uint64 {
+	// Combine the two directed endpoint hashes symmetrically (sum and xor),
+	// then mix. Sum+xor keeps directionality out while remaining sensitive
+	// to both endpoints.
+	a := endpointHash(k.Src, k.SrcPort)
+	b := endpointHash(k.Dst, k.DstPort)
+	h := uint64(fnvOffset)
+	h ^= a + b
+	h *= fnvPrime
+	h ^= a ^ b
+	h *= fnvPrime
+	h ^= uint64(k.Proto)
+	h *= fnvPrime
+	return h
+}
+
+// DirectedHash returns a fast hash that distinguishes flow direction.
+func (k FlowKey) DirectedHash() uint64 {
+	h := uint64(fnvOffset)
+	h ^= endpointHash(k.Src, k.SrcPort)
+	h *= fnvPrime
+	h ^= endpointHash(k.Dst, k.DstPort) << 1
+	h *= fnvPrime
+	h ^= uint64(k.Proto)
+	h *= fnvPrime
+	return h
+}
+
+func endpointHash(ip IPv4, port uint16) uint64 {
+	h := uint64(fnvOffset)
+	h ^= uint64(ip)
+	h *= fnvPrime
+	h ^= uint64(port)
+	h *= fnvPrime
+	return h
+}
+
+// String renders the flow key like "tcp 1.2.3.4:80>5.6.7.8:1234".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s:%d>%s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Granularity selects the unit of traffic used when two alarms are compared
+// by the similarity estimator (paper §2.1.1, Fig. 1).
+type Granularity uint8
+
+// The three traffic granularities evaluated in the paper.
+const (
+	// GranPacket compares alarms by the exact packets they designate.
+	GranPacket Granularity = iota
+	// GranUniFlow compares alarms by unidirectional 5-tuple flows.
+	GranUniFlow
+	// GranBiFlow compares alarms by bidirectional conversations.
+	GranBiFlow
+)
+
+// String names the granularity as in the paper's figures.
+func (g Granularity) String() string {
+	switch g {
+	case GranPacket:
+		return "packet"
+	case GranUniFlow:
+		return "uniflow"
+	case GranBiFlow:
+		return "biflow"
+	default:
+		return fmt.Sprintf("granularity(%d)", uint8(g))
+	}
+}

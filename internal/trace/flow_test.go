@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkKey(srcOct byte, sp uint16, dstOct byte, dp uint16, proto Proto) FlowKey {
+	return FlowKey{
+		Src: MakeIPv4(10, 0, 0, srcOct), Dst: MakeIPv4(10, 0, 1, dstOct),
+		SrcPort: sp, DstPort: dp, Proto: proto,
+	}
+}
+
+func TestFlowReverseInvolution(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := FlowKey{Src: IPv4(src), Dst: IPv4(dst), SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		return k.Reverse().Reverse() == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalSymmetric(t *testing.T) {
+	// A key and its reverse must map to the same canonical representative.
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := FlowKey{Src: IPv4(src), Dst: IPv4(dst), SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		return k.Canonical() == k.Reverse().Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := FlowKey{Src: IPv4(src), Dst: IPv4(dst), SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		c := k.Canonical()
+		return c.Canonical() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastHashSymmetric(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		k := FlowKey{Src: IPv4(src), Dst: IPv4(dst), SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		return k.FastHash() == k.Reverse().FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectedHashDistinguishesDirection(t *testing.T) {
+	k := mkKey(1, 1234, 2, 80, TCP)
+	if k.DirectedHash() == k.Reverse().DirectedHash() {
+		t.Error("DirectedHash equal for both directions; expected distinct values")
+	}
+}
+
+func TestFastHashSpreads(t *testing.T) {
+	// With 10k distinct flows, collisions should be negligible.
+	seen := make(map[uint64]int)
+	n := 0
+	for s := byte(0); s < 100; s++ {
+		for d := byte(0); d < 100; d++ {
+			k := mkKey(s, uint16(1000+int(s)), d, 80, TCP)
+			seen[k.FastHash()]++
+			n++
+		}
+	}
+	collisions := n - len(seen)
+	if collisions > 2 {
+		t.Errorf("FastHash produced %d collisions over %d keys", collisions, n)
+	}
+}
+
+func TestPacketFlowRoundTrip(t *testing.T) {
+	p := Packet{Src: MakeIPv4(1, 2, 3, 4), Dst: MakeIPv4(5, 6, 7, 8), SrcPort: 1234, DstPort: 80, Proto: TCP}
+	k := p.Flow()
+	if k.Src != p.Src || k.Dst != p.Dst || k.SrcPort != p.SrcPort || k.DstPort != p.DstPort || k.Proto != p.Proto {
+		t.Errorf("Flow() = %+v does not match packet %+v", k, p)
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if GranPacket.String() != "packet" || GranUniFlow.String() != "uniflow" || GranBiFlow.String() != "biflow" {
+		t.Errorf("unexpected granularity names: %s %s %s", GranPacket, GranUniFlow, GranBiFlow)
+	}
+	if Granularity(9).String() == "" {
+		t.Error("unknown granularity should still render")
+	}
+}
+
+func TestProtoAndFlagsString(t *testing.T) {
+	if TCP.String() != "tcp" || UDP.String() != "udp" || ICMP.String() != "icmp" {
+		t.Error("unexpected proto names")
+	}
+	if Proto(47).String() != "proto47" {
+		t.Errorf("Proto(47) = %q", Proto(47).String())
+	}
+	if got := (SYN | ACK).String(); got != "SYN|ACK" {
+		t.Errorf("flags = %q, want SYN|ACK", got)
+	}
+	if got := TCPFlags(0).String(); got != "-" {
+		t.Errorf("zero flags = %q, want -", got)
+	}
+	if !(SYN | ACK).Has(SYN) || (SYN).Has(SYN|ACK) {
+		t.Error("Has mask semantics broken")
+	}
+}

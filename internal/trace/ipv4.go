@@ -1,0 +1,76 @@
+// Package trace defines the packet-header traffic model shared by every
+// subsystem of the MAWILab reproduction: packets, endpoints, unidirectional
+// and bidirectional flow keys, traces, and header-field filters.
+//
+// The model mirrors what the MAWI archive actually exposes — anonymized
+// IPv4 headers with transport ports, TCP flags, ICMP type/code and packet
+// sizes, but no payloads — which is exactly the input consumed by the four
+// anomaly detectors and by the similarity estimator.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IPv4 is an IPv4 address stored in host byte order. It is comparable and
+// cheap to hash, so it can be used directly as a map key, following the
+// gopacket Endpoint idiom of "hashable representation of a source or
+// destination".
+type IPv4 uint32
+
+// MakeIPv4 builds an address from its four dotted-quad octets.
+func MakeIPv4(a, b, c, d byte) IPv4 {
+	return IPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Octets returns the four dotted-quad octets of the address.
+func (ip IPv4) Octets() (a, b, c, d byte) {
+	return byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)
+}
+
+// String renders the address in dotted-quad notation.
+func (ip IPv4) String() string {
+	a, b, c, d := ip.Octets()
+	// strconv over fmt: this is on the hot path of label rendering.
+	buf := make([]byte, 0, 15)
+	buf = strconv.AppendUint(buf, uint64(a), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(b), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(c), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(d), 10)
+	return string(buf)
+}
+
+// ParseIPv4 parses a dotted-quad address such as "203.178.148.19".
+func ParseIPv4(s string) (IPv4, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("trace: invalid IPv4 %q: want 4 octets, got %d", s, len(parts))
+	}
+	var ip uint32
+	for _, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("trace: invalid IPv4 %q: %v", s, err)
+		}
+		ip = ip<<8 | uint32(n)
+	}
+	return IPv4(ip), nil
+}
+
+// InSubnet reports whether ip falls inside the /prefixLen network rooted at
+// network. prefixLen must be in [0,32].
+func (ip IPv4) InSubnet(network IPv4, prefixLen int) bool {
+	if prefixLen <= 0 {
+		return true
+	}
+	if prefixLen >= 32 {
+		return ip == network
+	}
+	mask := ^IPv4(0) << (32 - uint(prefixLen))
+	return ip&mask == network&mask
+}

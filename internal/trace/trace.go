@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Trace is an in-memory packet trace: one MAWI-style capture interval. The
+// zero value is an empty trace ready for Append.
+type Trace struct {
+	// Date identifies the capture day in the archive (UTC midnight).
+	Date time.Time
+	// Name is a human-readable identifier, e.g. "2004-05-03".
+	Name string
+	// Packets are stored in non-decreasing timestamp order once Sort has
+	// been called; generators are expected to emit nearly-sorted data.
+	Packets []Packet
+}
+
+// Append adds a packet to the trace.
+func (t *Trace) Append(p Packet) { t.Packets = append(t.Packets, p) }
+
+// Len returns the number of packets.
+func (t *Trace) Len() int { return len(t.Packets) }
+
+// Duration returns the trace duration in seconds (timestamp of the last
+// packet). An empty trace has duration 0.
+func (t *Trace) Duration() float64 {
+	if len(t.Packets) == 0 {
+		return 0
+	}
+	return t.Packets[len(t.Packets)-1].Seconds()
+}
+
+// Sort orders packets by timestamp (stable, so equal-timestamp generator
+// order is preserved and runs stay reproducible).
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Packets, func(i, j int) bool {
+		return t.Packets[i].TS < t.Packets[j].TS
+	})
+}
+
+// Sorted reports whether packets are in non-decreasing timestamp order.
+func (t *Trace) Sorted() bool {
+	for i := 1; i < len(t.Packets); i++ {
+		if t.Packets[i].TS < t.Packets[i-1].TS {
+			return false
+		}
+	}
+	return true
+}
+
+// Window returns the index range [lo,hi) of packets with timestamps in
+// [from,to) seconds. The trace must be sorted.
+func (t *Trace) Window(from, to float64) (lo, hi int) {
+	fromTS := int64(from * 1e6)
+	toTS := int64(to * 1e6)
+	lo = sort.Search(len(t.Packets), func(i int) bool { return t.Packets[i].TS >= fromTS })
+	hi = sort.Search(len(t.Packets), func(i int) bool { return t.Packets[i].TS >= toTS })
+	return lo, hi
+}
+
+// Stats summarizes a trace for reports and sanity checks.
+type Stats struct {
+	Packets   int
+	Bytes     int64
+	Flows     int // unique unidirectional flows
+	BiFlows   int // unique bidirectional conversations
+	SrcHosts  int
+	DstHosts  int
+	TCPShare  float64 // fraction of packets
+	UDPShare  float64
+	ICMPShare float64
+	Duration  float64 // seconds
+}
+
+// ComputeStats scans the trace once and returns its summary.
+func (t *Trace) ComputeStats() Stats {
+	var s Stats
+	s.Packets = len(t.Packets)
+	s.Duration = t.Duration()
+	flows := make(map[FlowKey]struct{})
+	biflows := make(map[FlowKey]struct{})
+	srcs := make(map[IPv4]struct{})
+	dsts := make(map[IPv4]struct{})
+	var tcp, udp, icmp int
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		s.Bytes += int64(p.Len)
+		flows[p.Flow()] = struct{}{}
+		biflows[p.Flow().Canonical()] = struct{}{}
+		srcs[p.Src] = struct{}{}
+		dsts[p.Dst] = struct{}{}
+		switch p.Proto {
+		case TCP:
+			tcp++
+		case UDP:
+			udp++
+		case ICMP:
+			icmp++
+		}
+	}
+	s.Flows = len(flows)
+	s.BiFlows = len(biflows)
+	s.SrcHosts = len(srcs)
+	s.DstHosts = len(dsts)
+	if s.Packets > 0 {
+		s.TCPShare = float64(tcp) / float64(s.Packets)
+		s.UDPShare = float64(udp) / float64(s.Packets)
+		s.ICMPShare = float64(icmp) / float64(s.Packets)
+	}
+	return s
+}
+
+// FlowIndex maps every unidirectional flow key in the trace to the indices
+// of its packets, in timestamp order. It is the shared lookup structure used
+// by the traffic extractor and several detectors.
+func (t *Trace) FlowIndex() map[FlowKey][]int {
+	idx := make(map[FlowKey][]int)
+	for i := range t.Packets {
+		k := t.Packets[i].Flow()
+		idx[k] = append(idx[k], i)
+	}
+	return idx
+}
+
+// String renders a short summary.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace %s: %d packets, %.1fs", t.Name, len(t.Packets), t.Duration())
+}

@@ -1,0 +1,325 @@
+// Package mawilab is a Go implementation of MAWILab (Fontugne, Borgnat,
+// Abry, Fukuda — CoNEXT 2010): a methodology that combines diverse,
+// independent network anomaly detectors into a single reliable labeling of
+// backbone traffic.
+//
+// The pipeline has four steps (§1 of the paper):
+//
+//  1. several anomaly detectors analyze a trace and report alarms;
+//  2. a graph-based similarity estimator groups alarms designating the
+//     same traffic into communities, even across detectors operating at
+//     different granularities (host, flow, packet, feature tuple);
+//  3. a combiner classifies each community as anomalous or not — the best
+//     unsupervised strategy being SCANN, built on correspondence analysis;
+//  4. association rule mining condenses each community into concise
+//     human-readable labels under the Anomalous / Suspicious / Notice /
+//     Benign taxonomy.
+//
+// Quick start:
+//
+//	day := mawilab.NewArchive(42).Day(time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC))
+//	labeling, err := mawilab.NewPipeline().Run(day.Trace)
+//	if err != nil { ... }
+//	for _, rep := range labeling.Reports {
+//	    fmt.Println(rep.String())
+//	}
+//
+// The subpackages under internal/ implement every substrate from scratch:
+// the four detectors (PCA, Gamma, Hough, KL), Louvain community mining,
+// correspondence analysis, Apriori rule mining, a synthetic MAWI archive,
+// and a pcap reader/writer.
+package mawilab
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mawilab/internal/admd"
+	"mawilab/internal/core"
+	"mawilab/internal/detectors"
+	"mawilab/internal/detectors/suite"
+	"mawilab/internal/heuristics"
+	"mawilab/internal/mawigen"
+	"mawilab/internal/pcap"
+	"mawilab/internal/trace"
+)
+
+// Re-exported types: the public API of the library. The aliases expose the
+// internal implementations without widening the import graph for users.
+type (
+	// Trace is an in-memory packet trace.
+	Trace = trace.Trace
+	// Packet is one packet header record.
+	Packet = trace.Packet
+	// IPv4 is an IPv4 address.
+	IPv4 = trace.IPv4
+	// Filter selects traffic by header fields and time interval.
+	Filter = trace.Filter
+	// Granularity selects packet/uniflow/biflow traffic comparison.
+	Granularity = trace.Granularity
+	// Alarm is one detector report.
+	Alarm = core.Alarm
+	// Detector is an anomaly detector with multiple configurations.
+	Detector = detectors.Detector
+	// Strategy is a combination strategy.
+	Strategy = core.Strategy
+	// Decision is a combiner verdict for one community.
+	Decision = core.Decision
+	// Label is the four-level traffic taxonomy.
+	Label = core.Label
+	// CommunityReport is the labeled record of one alarm community.
+	CommunityReport = core.CommunityReport
+	// EstimatorConfig parameterizes the similarity estimator.
+	EstimatorConfig = core.EstimatorConfig
+	// Archive is the synthetic MAWI archive model.
+	Archive = mawigen.Archive
+	// Event is a ground-truth anomaly record from the generator.
+	Event = mawigen.Event
+)
+
+// Taxonomy labels (§5).
+const (
+	Benign     = core.Benign
+	Notice     = core.Notice
+	Suspicious = core.Suspicious
+	Anomalous  = core.Anomalous
+)
+
+// Traffic granularities (§2.1.1).
+const (
+	GranPacket  = trace.GranPacket
+	GranUniFlow = trace.GranUniFlow
+	GranBiFlow  = trace.GranBiFlow
+)
+
+// NewFilter returns a match-all filter to be narrowed with the With*
+// builders.
+func NewFilter() Filter { return trace.NewFilter() }
+
+// ParseIPv4 parses a dotted-quad address.
+func ParseIPv4(s string) (IPv4, error) { return trace.ParseIPv4(s) }
+
+// MakeIPv4 builds an address from octets.
+func MakeIPv4(a, b, c, d byte) IPv4 { return trace.MakeIPv4(a, b, c, d) }
+
+// StandardDetectors returns the paper's ensemble: PCA, Gamma, Hough and KL
+// detectors, three configurations each.
+func StandardDetectors() []Detector { return suite.Standard() }
+
+// Strategies.
+var (
+	// Average accepts a community when the mean confidence exceeds 0.5.
+	Average = core.NewAverage
+	// Minimum accepts only unanimously supported communities.
+	Minimum = core.NewMinimum
+	// Maximum accepts any community one detector fully supports.
+	Maximum = core.NewMaximum
+	// SCANN is the paper's retained strategy (correspondence analysis).
+	SCANN = func() Strategy { return core.NewSCANN() }
+)
+
+// NewArchive returns the synthetic MAWI archive model seeded
+// deterministically.
+func NewArchive(seed int64) *Archive { return mawigen.NewArchive(seed) }
+
+// ReadPcap loads a classic pcap stream into a Trace.
+func ReadPcap(r io.Reader) (*Trace, error) { return pcap.ReadTrace(r) }
+
+// WritePcap serializes a Trace as a classic pcap stream.
+func WritePcap(w io.Writer, tr *Trace) error { return pcap.WriteTrace(w, tr) }
+
+// Pipeline is the ready-to-use MAWILab labeling pipeline.
+type Pipeline struct {
+	// Detectors is the ensemble to combine; defaults to
+	// StandardDetectors().
+	Detectors []Detector
+	// Estimator configures the similarity estimator; defaults to the
+	// paper's retained settings (uniflow granularity, Simpson index,
+	// Louvain).
+	Estimator EstimatorConfig
+	// Strategy is the combination strategy; defaults to SCANN.
+	Strategy Strategy
+	// RuleSupport is the Apriori minimum support for labeling (default
+	// 0.2, the paper's s = 20%).
+	RuleSupport float64
+}
+
+// NewPipeline returns the pipeline with the paper's retained
+// configuration.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		Detectors:   StandardDetectors(),
+		Estimator:   core.DefaultEstimatorConfig(),
+		Strategy:    core.NewSCANN(),
+		RuleSupport: 0.2,
+	}
+}
+
+// Labeling is the pipeline output for one trace.
+type Labeling struct {
+	// Alarms are all detector reports fed into the similarity estimator.
+	Alarms []Alarm
+	// Result is the similarity estimator output (graph and communities).
+	Result *core.Result
+	// Decisions holds the strategy's verdict per community.
+	Decisions []Decision
+	// Reports carry the final labels, rules and heuristics per community.
+	Reports []CommunityReport
+}
+
+// Run executes the full pipeline on a trace: detect, estimate, combine,
+// label.
+func (p *Pipeline) Run(tr *Trace) (*Labeling, error) {
+	alarms, totals, err := detectors.DetectAll(tr, p.Detectors)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunAlarms(tr, alarms, totals)
+}
+
+// RunAlarms executes the estimator+combiner+labeler on externally produced
+// alarms — the extension point the paper highlights in §6 for integrating
+// new detectors or traffic-classifier annotations. totals maps each
+// detector name to its number of configurations.
+func (p *Pipeline) RunAlarms(tr *Trace, alarms []Alarm, totals map[string]int) (*Labeling, error) {
+	res, err := core.Estimate(tr, alarms, p.Estimator)
+	if err != nil {
+		return nil, err
+	}
+	conf := res.Confidences(totals)
+	dec, err := p.Strategy.Classify(res, conf)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultReportOptions()
+	if p.RuleSupport > 0 {
+		opts.RuleSupport = p.RuleSupport
+	}
+	reports, err := core.BuildReports(tr, res, dec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeling{Alarms: alarms, Result: res, Decisions: dec, Reports: reports}, nil
+}
+
+// Anomalies returns the reports labeled Anomalous, the records published in
+// the MAWILab database.
+func (l *Labeling) Anomalies() []CommunityReport {
+	var out []CommunityReport
+	for _, r := range l.Reports {
+		if r.Label == core.Anomalous {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the labeling in the MAWILab database format: one row per
+// community with its taxonomy label, best rule 4-tuple, heuristic
+// category and size.
+func (l *Labeling) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "community,label,srcIP,srcPort,dstIP,dstPort,heuristic,category,packets,flows,score"); err != nil {
+		return err
+	}
+	for _, rep := range l.Reports {
+		src, sport, dst, dport := "*", "*", "*", "*"
+		if len(rep.Rules) > 0 {
+			src, sport, dst, dport = ruleFields(rep.Rules[0].String())
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%s,%s,%s,%d,%d,%.4f\n",
+			rep.Community, rep.Label, src, sport, dst, dport,
+			rep.Class, rep.Category, rep.Packets, rep.Flows, rep.Decision.Score); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteADMD emits the labeling as an admd XML document, the format of the
+// published MAWILab database. tr supplies the trace time bounds.
+func (l *Labeling) WriteADMD(w io.Writer, traceName string, tr *Trace) error {
+	return admd.Encode(w, traceName, tr, l.Reports)
+}
+
+// ruleFields splits "<a, b, c, d>" into its four fields.
+func ruleFields(rule string) (src, sport, dst, dport string) {
+	src, sport, dst, dport = "*", "*", "*", "*"
+	trimmed := rule
+	if len(trimmed) >= 2 && trimmed[0] == '<' && trimmed[len(trimmed)-1] == '>' {
+		trimmed = trimmed[1 : len(trimmed)-1]
+	}
+	parts := splitComma(trimmed)
+	if len(parts) == 4 {
+		src, sport, dst, dport = parts[0], parts[1], parts[2], parts[3]
+	}
+	return src, sport, dst, dport
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' {
+			out = append(out, trimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, trimSpace(s[start:]))
+	return out
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && s[0] == ' ' {
+		s = s[1:]
+	}
+	for len(s) > 0 && s[len(s)-1] == ' ' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// GroundTruthEval scores a labeling against generator ground truth: an
+// event counts as detected when an Anomalous community's traffic overlaps
+// it by at least minPackets packets. It returns detected events and the
+// total — the benchmark usage MAWILab was built for.
+func GroundTruthEval(tr *Trace, l *Labeling, truth []Event, minPackets int) (detected, total int) {
+	if minPackets <= 0 {
+		minPackets = 10
+	}
+	for i := range truth {
+		ev := &truth[i]
+		total++
+		for _, rep := range l.Reports {
+			if rep.Label != core.Anomalous {
+				continue
+			}
+			c := &l.Result.Communities[rep.Community]
+			hits := 0
+			for _, pi := range c.Traffic.Packets {
+				if ev.Matches(&tr.Packets[pi]) {
+					hits++
+					if hits >= minPackets {
+						break
+					}
+				}
+			}
+			if hits >= minPackets {
+				detected++
+				break
+			}
+		}
+	}
+	return detected, total
+}
+
+// HeuristicClass re-exports the Table 1 classifier for benchmark tooling.
+func HeuristicClass(tr *Trace, packetIdx []int) (string, string) {
+	cls, cat := heuristics.ClassifyPackets(tr, packetIdx)
+	return cls.String(), cat.String()
+}
+
+// Date is a small convenience for building archive dates.
+func Date(year int, month time.Month, day int) time.Time {
+	return time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+}

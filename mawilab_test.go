@@ -1,0 +1,180 @@
+package mawilab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPipelineRunOnArchiveDay(t *testing.T) {
+	arch := NewArchive(42)
+	arch.Duration = 45
+	arch.BaseRate = 250
+	day := arch.Day(Date(2004, time.May, 10)) // Sasser era
+	l, err := NewPipeline().Run(day.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	if len(l.Decisions) != len(l.Reports) {
+		t.Error("decisions misaligned")
+	}
+	anomalies := l.Anomalies()
+	if len(anomalies) == 0 {
+		t.Fatal("Sasser-era day produced no anomalous labels")
+	}
+	detected, total := GroundTruthEval(day.Trace, l, day.Truth, 10)
+	if total == 0 {
+		t.Fatal("no ground truth")
+	}
+	if detected == 0 {
+		t.Error("no ground-truth event detected")
+	}
+}
+
+func TestPipelineCSV(t *testing.T) {
+	arch := NewArchive(43)
+	arch.Duration = 45
+	arch.BaseRate = 250
+	day := arch.Day(Date(2003, time.September, 2)) // Blaster era
+	l, err := NewPipeline().Run(day.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(l.Reports)+1 {
+		t.Errorf("csv lines = %d, want %d", len(lines), len(l.Reports)+1)
+	}
+	if !strings.HasPrefix(lines[0], "community,label,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if strings.Count(line, ",") != 10 {
+			t.Errorf("malformed csv row: %q", line)
+		}
+	}
+}
+
+func TestRunAlarmsCustomDetector(t *testing.T) {
+	// The §6 extension point: externally produced alarms flow through the
+	// estimator and combiner unchanged.
+	arch := NewArchive(44)
+	arch.Duration = 45
+	arch.BaseRate = 250
+	day := arch.Day(Date(2005, time.March, 1))
+	tr := day.Trace
+
+	// A trivial "volume detector": the top-talker source.
+	counts := make(map[IPv4]int)
+	for i := range tr.Packets {
+		counts[tr.Packets[i].Src]++
+	}
+	var top IPv4
+	best := -1
+	for ip, n := range counts {
+		if n > best || (n == best && ip < top) {
+			top, best = ip, n
+		}
+	}
+	alarms := []Alarm{
+		{Detector: "volume", Config: 0, Filters: []Filter{NewFilter().WithSrc(top)}},
+		{Detector: "volume", Config: 1, Filters: []Filter{NewFilter().WithSrc(top)}},
+	}
+	p := NewPipeline()
+	l, err := p.RunAlarms(tr, alarms, map[string]int{"volume": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Reports) != 1 {
+		t.Fatalf("reports = %d, want 1 community", len(l.Reports))
+	}
+}
+
+func TestPcapRoundTripThroughFacade(t *testing.T) {
+	arch := NewArchive(45)
+	arch.Duration = 10
+	arch.BaseRate = 100
+	day := arch.Day(Date(2002, time.June, 3))
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, day.Trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != day.Trace.Len() {
+		t.Errorf("round trip lost packets: %d vs %d", back.Len(), day.Trace.Len())
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	ip, err := ParseIPv4("10.1.2.3")
+	if err != nil || ip != MakeIPv4(10, 1, 2, 3) {
+		t.Error("ParseIPv4/MakeIPv4 mismatch")
+	}
+	if len(StandardDetectors()) != 4 {
+		t.Error("standard detectors != 4")
+	}
+	for _, s := range []Strategy{Average(), Minimum(), Maximum(), SCANN()} {
+		if s.Name() == "" {
+			t.Error("strategy without name")
+		}
+	}
+	if Anomalous.String() != "anomalous" || Benign.String() != "benign" {
+		t.Error("label names wrong")
+	}
+	cls, cat := HeuristicClass(&Trace{}, nil)
+	if cls != "Unknown" || cat != "Unknown" {
+		t.Errorf("empty heuristic = %s/%s", cls, cat)
+	}
+}
+
+func TestRuleFieldsParsing(t *testing.T) {
+	src, sport, dst, dport := ruleFields("<1.2.3.4, 80, *, 443>")
+	if src != "1.2.3.4" || sport != "80" || dst != "*" || dport != "443" {
+		t.Errorf("ruleFields = %s/%s/%s/%s", src, sport, dst, dport)
+	}
+	// Malformed rules degrade to wildcards.
+	src, _, _, _ = ruleFields("garbage")
+	if src != "*" {
+		t.Errorf("malformed rule src = %q", src)
+	}
+}
+
+func TestWriteADMD(t *testing.T) {
+	arch := NewArchive(46)
+	arch.Duration = 30
+	arch.BaseRate = 200
+	day := arch.Day(Date(2004, time.June, 1))
+	l, err := NewPipeline().Run(day.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteADMD(&buf, day.Trace.Name, day.Trace); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<document") || !strings.Contains(out, "anomaly") {
+		t.Errorf("admd output malformed:\n%s", out[:min(400, len(out))])
+	}
+	if !strings.Contains(out, `trace="2004-06-01"`) {
+		t.Error("trace attribute missing")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+# Same entry points CI uses — run `make <target>` locally to reproduce a CI
+# job exactly.
+
+GO ?= go
+# Benchmarks the CI smoke job tracks across commits.
+BENCH_PATTERN ?= PipelineDay|Detectors|Louvain
+
+.PHONY: all build test race bench fmt vet check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race job covers the root package (pipeline + benches compile in) and
+# every internal package, since the concurrency lives under internal/.
+race:
+	$(GO) test -race ./internal/... .
+
+# Benchmark smoke run: one iteration of the tracked benches, converted to
+# BENCH_ci.json for the artifact trail. No pipe: a benchmark failure must
+# fail the recipe, and `go test | tee` would report tee's exit status.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=1x . > bench.txt
+	@cat bench.txt
+	$(GO) run ./cmd/benchjson < bench.txt > BENCH_ci.json
+	@echo "wrote BENCH_ci.json"
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: build vet fmt test

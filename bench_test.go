@@ -8,6 +8,9 @@ package mawilab
 // reproduced shape; cmd/experiments prints the full series.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -69,12 +72,11 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFig3 regenerates the similarity-estimator panels (3 granularities).
 func BenchmarkFig3(b *testing.B) {
-	arch := benchArchive()
-	dets := suite.Standard()
+	runner := eval.NewRunner(benchArchive(), suite.Standard())
 	dates := benchDates(2, 30)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := eval.Fig3(arch, dets, dates)
+		res, err := eval.Fig3(context.Background(), runner, dates)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,12 +88,11 @@ func BenchmarkFig3(b *testing.B) {
 
 // BenchmarkFig4 regenerates rule metrics vs community size.
 func BenchmarkFig4(b *testing.B) {
-	arch := benchArchive()
-	dets := suite.Standard()
+	runner := eval.NewRunner(benchArchive(), suite.Standard())
 	dates := benchDates(2, 30)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := eval.Fig4(arch, dets, dates)
+		res, err := eval.Fig4(context.Background(), runner, dates)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,12 +104,11 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5 regenerates the community-landscape buckets.
 func BenchmarkFig5(b *testing.B) {
-	arch := benchArchive()
-	dets := suite.Standard()
+	runner := eval.NewRunner(benchArchive(), suite.Standard())
 	dates := benchDates(2, 30)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buckets, err := eval.Fig5(arch, dets, dates)
+		buckets, err := eval.Fig5(context.Background(), runner, dates)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func BenchmarkFig5(b *testing.B) {
 func benchRatios(b *testing.B, nDays int) ([]eval.DayRatios, []*eval.DayResult) {
 	b.Helper()
 	runner := eval.NewRunner(benchArchive(), suite.Standard())
-	ratios, days, err := eval.RunRatios(runner, benchDates(nDays, 45))
+	ratios, days, err := eval.RunRatios(context.Background(), runner, benchDates(nDays, 45))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -238,6 +238,38 @@ func BenchmarkGenerateDay(b *testing.B) {
 			b.Fatal("empty trace")
 		}
 	}
+}
+
+// BenchmarkGenerateDays measures multi-day archive generation at several
+// worker-pool sizes (Archive.Days shards days across the pool; the traces
+// are identical at every setting).
+func BenchmarkGenerateDays(b *testing.B) {
+	dates := benchDates(8, 40)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			arch := benchArchive()
+			arch.Workers = workers
+			for i := 0; i < b.N; i++ {
+				days, err := arch.Days(context.Background(), dates)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(days) != len(dates) {
+					b.Fatal("missing days")
+				}
+			}
+		})
+	}
+}
+
+// benchWorkerCounts returns the worker-pool sizes exercised by the scaling
+// benches: sequential, 4 (the CI speedup gate), and every core.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
 }
 
 // benchTrace builds one fixed trace for detector benches.
@@ -359,17 +391,21 @@ func BenchmarkApriori(b *testing.B) {
 	}
 }
 
-// BenchmarkPipelineDay times the complete pipeline on one archive day.
+// BenchmarkPipelineDay times the complete pipeline on one archive day at
+// several worker-pool sizes. workers=1 is the sequential reference path;
+// the labeling output is byte-identical across sub-benches (see
+// TestParallelismDeterminism), so the ns/op ratio is the pure speedup.
 func BenchmarkPipelineDay(b *testing.B) {
-	arch := benchArchive()
-	p := NewPipeline()
-	d := time.Date(2005, 3, 7, 0, 0, 0, 0, time.UTC)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		day := arch.Day(d)
-		if _, err := p.Run(day.Trace); err != nil {
-			b.Fatal(err)
-		}
+	day := benchArchive().Day(time.Date(2005, 3, 7, 0, 0, 0, 0, time.UTC))
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := NewPipeline().Parallelism(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(day.Trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

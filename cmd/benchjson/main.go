@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench` text output (read on stdin)
+// into a JSON array of benchmark records, one per result line. CI pipes the
+// benchmark smoke run through it and uploads the result as BENCH_ci.json so
+// a perf trajectory accumulates across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'PipelineDay' -benchtime=1x | benchjson > BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	// Name is the benchmark name including sub-bench path and the -N
+	// GOMAXPROCS suffix, e.g. "BenchmarkPipelineDay/workers=4-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op measurement.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported unit (custom b.ReportMetric
+	// values, B/op, allocs/op, ...), keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var out []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rec, ok := parseLine(line); ok {
+			out = append(out, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one "Benchmark<Name>-P  N  v1 unit1  v2 unit2 ..." line.
+func parseLine(line string) (Record, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Record{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one (value, unit) pair.
+	if len(fields) < 4 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			rec.NsPerOp = v
+			continue
+		}
+		if rec.Metrics == nil {
+			rec.Metrics = make(map[string]float64)
+		}
+		rec.Metrics[unit] = v
+	}
+	return rec, true
+}

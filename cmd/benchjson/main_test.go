@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	rec, ok := parseLine("BenchmarkPipelineDay/workers=4-8   \t       3\t 128593878 ns/op")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if rec.Name != "BenchmarkPipelineDay/workers=4-8" || rec.Iterations != 3 || rec.NsPerOp != 128593878 {
+		t.Errorf("parsed %+v", rec)
+	}
+
+	rec, ok = parseLine("BenchmarkFig6-8   \t 2\t 50000 ns/op\t 0.82 scann_acc_ratio")
+	if !ok {
+		t.Fatal("metric line not recognized")
+	}
+	if rec.Metrics["scann_acc_ratio"] != 0.82 {
+		t.Errorf("custom metric lost: %+v", rec)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tmawilab\t1.051s",
+		"BenchmarkBroken",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-result line %q parsed as a record", line)
+		}
+	}
+}

@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"mawilab/internal/detectors/suite"
@@ -29,12 +33,19 @@ func main() {
 		duration = flag.Float64("duration", 60, "seconds per daily trace")
 		step     = flag.Int("step", 28, "days between samples for the 2001-2009 combiner experiments")
 		months   = flag.Int("months", 0, "months sampled for fig3/4/5 (0 = every 3rd month 2001-2009)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size: archive days are analyzed N at a time (1 = sequential; results are identical)")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the day-level worker pools cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	arch := mawigen.NewArchive(*seed)
 	arch.Duration = *duration
 	dets := suite.Standard()
+	figRunner := eval.NewRunner(arch, dets)
+	figRunner.Workers = *workers
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -67,7 +78,7 @@ func main() {
 	}
 
 	if want("fig3") {
-		res, err := eval.Fig3(arch, dets, estDates)
+		res, err := eval.Fig3(ctx, figRunner, estDates)
 		check(err)
 		fmt.Print(stats.RenderTable("Fig 3a: CDF of #single communities per trace", "#singles", res.SinglesCDF...))
 		fmt.Println()
@@ -80,7 +91,7 @@ func main() {
 	}
 
 	if want("fig4") {
-		res, err := eval.Fig4(arch, dets, estDates)
+		res, err := eval.Fig4(ctx, figRunner, estDates)
 		check(err)
 		fmt.Print(stats.RenderTable("Fig 4: rule metrics vs community size (uniflow, smoothed)",
 			"size", res.Support, res.Degree))
@@ -88,7 +99,7 @@ func main() {
 	}
 
 	if want("fig5") {
-		buckets, err := eval.Fig5(arch, dets, estDates)
+		buckets, err := eval.Fig5(ctx, figRunner, estDates)
 		check(err)
 		fmt.Print(eval.RenderFig5(buckets))
 		fmt.Println()
@@ -97,9 +108,8 @@ func main() {
 	needRatios := want("fig6") || want("fig7") || want("fig8") || want("fig9") ||
 		want("fig10") || want("table2") || want("headline")
 	if needRatios {
-		runner := eval.NewRunner(arch, dets)
-		fmt.Fprintf(os.Stderr, "running combiner pipeline on %d days...\n", len(combDates))
-		ratios, days, err := eval.RunRatios(runner, combDates)
+		fmt.Fprintf(os.Stderr, "running combiner pipeline on %d days (%d workers)...\n", len(combDates), *workers)
+		ratios, days, err := eval.RunRatios(ctx, figRunner, combDates)
 		check(err)
 
 		if want("fig6") {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"mawilab"
@@ -26,6 +27,7 @@ func main() {
 		strategy = flag.String("strategy", "SCANN", "combination strategy: SCANN, average, minimum, maximum")
 		gran     = flag.String("granularity", "uniflow", "traffic granularity: packet, uniflow, biflow")
 		format   = flag.String("format", "csv", "output format: csv or admd (MAWILab XML)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker-pool size (1 = sequential reference path; output is identical)")
 		verbose  = flag.Bool("v", false, "print per-community detail to stderr")
 	)
 	flag.Parse()
@@ -54,7 +56,7 @@ func main() {
 		fatal("one of -in or -date is required")
 	}
 
-	p := mawilab.NewPipeline()
+	p := mawilab.NewPipeline().Parallelism(*workers)
 	switch *strategy {
 	case "SCANN", "scann":
 		p.Strategy = mawilab.SCANN()

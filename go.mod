@@ -1,0 +1,3 @@
+module mawilab
+
+go 1.24

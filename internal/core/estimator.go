@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"mawilab/internal/graphx"
+	"mawilab/internal/parallel"
 	"mawilab/internal/trace"
 )
 
@@ -112,13 +115,26 @@ func (r *Result) Extractor() *Extractor { return r.extractor }
 // tr: extract each alarm's traffic, weight alarm pairs by traffic
 // similarity, and cluster the resulting graph into communities.
 func Estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, error) {
+	return EstimateContext(context.Background(), tr, alarms, cfg, 1)
+}
+
+// EstimateContext is Estimate with cancellation and a bounded worker pool.
+// The per-alarm traffic extraction and the per-community traffic unions —
+// the estimator's two data-parallel scans — fan out across up to `workers`
+// goroutines (<= 1 runs inline), writing into index-addressed slots; the
+// similarity graph and the community mining stay sequential. The result is
+// identical at every worker count.
+func EstimateContext(ctx context.Context, tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig, workers int) (*Result, error) {
 	if cfg.MinSimilarity < 0 || cfg.MinSimilarity > 1 {
 		return nil, fmt.Errorf("core: MinSimilarity %f out of [0,1]", cfg.MinSimilarity)
 	}
 	ext := NewExtractor(tr, cfg.Granularity)
 	sets := make([]*TrafficSet, len(alarms))
-	for i := range alarms {
+	if err := parallel.ForEach(ctx, len(alarms), workers, func(_ context.Context, i int) error {
 		sets[i] = ext.Extract(&alarms[i])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	g := graphx.New(len(alarms))
@@ -144,7 +160,21 @@ func Estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, er
 			}
 		}
 	}
-	for pr, n := range inter {
+	// Insert edges in sorted pair order: map iteration would accumulate the
+	// graph's total weight in a different floating-point order every run,
+	// perturbing downstream modularity comparisons.
+	pairs := make([]pair, 0, len(inter))
+	for pr := range inter {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, pr := range pairs {
+		n := inter[pr]
 		if n == 0 {
 			continue
 		}
@@ -185,18 +215,21 @@ func Estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, er
 	}
 
 	members := graphx.Members(assignment)
-	communities := make([]Community, 0, len(members))
-	for id := 0; id < len(members); id++ {
+	communities := make([]Community, len(members))
+	if err := parallel.ForEach(ctx, len(members), workers, func(_ context.Context, id int) error {
 		alarmIdx := members[id]
 		memberSets := make([]*TrafficSet, len(alarmIdx))
 		for i, ai := range alarmIdx {
 			memberSets[i] = sets[ai]
 		}
-		communities = append(communities, Community{
+		communities[id] = Community{
 			ID:      id,
 			Alarms:  alarmIdx,
 			Traffic: ext.Union(memberSets),
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	return &Result{

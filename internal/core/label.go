@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mawilab/internal/apriori"
 	"mawilab/internal/heuristics"
+	"mawilab/internal/parallel"
 	"mawilab/internal/trace"
 )
 
@@ -102,6 +104,15 @@ func (cr *CommunityReport) String() string {
 // with percentage support, §4.1.1), the rule metrics computed, and the
 // Table 1 heuristics applied for the evaluation figures.
 func BuildReports(tr *trace.Trace, r *Result, decisions []Decision, opts ReportOptions) ([]CommunityReport, error) {
+	return BuildReportsContext(context.Background(), tr, r, decisions, opts, 1)
+}
+
+// BuildReportsContext is BuildReports with cancellation and a bounded worker
+// pool: communities are labeled independently (rule mining dominates the
+// cost), so they fan out across up to `workers` goroutines (<= 1 runs
+// inline). Each report is written into its community's slot, so the output
+// is identical to the sequential path regardless of worker count.
+func BuildReportsContext(ctx context.Context, tr *trace.Trace, r *Result, decisions []Decision, opts ReportOptions, workers int) ([]CommunityReport, error) {
 	if len(decisions) != len(r.Communities) {
 		return nil, fmt.Errorf("core: decisions (%d) != communities (%d)", len(decisions), len(r.Communities))
 	}
@@ -109,7 +120,7 @@ func BuildReports(tr *trace.Trace, r *Result, decisions []Decision, opts ReportO
 		return nil, fmt.Errorf("core: rule support %f out of (0,1]", opts.RuleSupport)
 	}
 	reports := make([]CommunityReport, len(r.Communities))
-	for ci := range r.Communities {
+	err := parallel.ForEach(ctx, len(r.Communities), workers, func(_ context.Context, ci int) error {
 		c := &r.Communities[ci]
 		txs := communityTransactions(tr, r, c)
 		mined := apriori.Mine(txs, opts.RuleSupport)
@@ -134,6 +145,10 @@ func BuildReports(tr *trace.Trace, r *Result, decisions []Decision, opts ReportO
 			Packets:     len(c.Traffic.Packets),
 			Flows:       len(c.Traffic.Flows),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return reports, nil
 }

@@ -11,9 +11,11 @@
 package detectors
 
 import (
+	"context"
 	"fmt"
 
 	"mawilab/internal/core"
+	"mawilab/internal/parallel"
 	"mawilab/internal/trace"
 )
 
@@ -56,26 +58,52 @@ type Detector interface {
 	NumConfigs() int
 	// Detect analyzes the trace under parameter set config and returns
 	// the alarms raised. Implementations must be deterministic for a
-	// given (trace, config).
+	// given (trace, config), and safe for concurrent Detect calls on the
+	// same receiver: the pipeline fans the twelve (detector, config)
+	// runs out across a worker pool.
 	Detect(tr *trace.Trace, config int) ([]core.Alarm, error)
 }
 
-// DetectAll runs every configuration of every detector and concatenates the
-// alarms — the "12 outputs of all the configurations" fed to the similarity
-// estimator in the paper's experiments. It also returns the per-detector
-// configuration totals needed for confidence scores.
+// DetectAll runs every configuration of every detector sequentially and
+// concatenates the alarms — the "12 outputs of all the configurations" fed
+// to the similarity estimator in the paper's experiments. It also returns
+// the per-detector configuration totals needed for confidence scores.
 func DetectAll(tr *trace.Trace, dets []Detector) ([]core.Alarm, map[string]int, error) {
-	var alarms []core.Alarm
+	return DetectAllContext(context.Background(), tr, dets, 1)
+}
+
+// DetectAllContext is DetectAll with cancellation and a bounded worker pool:
+// the (detector, config) runs are independent, so they fan out across up to
+// `workers` goroutines (<= 1 runs inline). Each run's alarms land in a slot
+// keyed by (detector index, config index) and are concatenated in that
+// order, so the output is byte-identical to the sequential path regardless
+// of worker count or scheduling.
+func DetectAllContext(ctx context.Context, tr *trace.Trace, dets []Detector, workers int) ([]core.Alarm, map[string]int, error) {
+	type job struct {
+		d   Detector
+		cfg int
+	}
+	var jobs []job
 	totals := make(map[string]int, len(dets))
 	for _, d := range dets {
 		totals[d.Name()] = d.NumConfigs()
 		for cfg := 0; cfg < d.NumConfigs(); cfg++ {
-			out, err := d.Detect(tr, cfg)
-			if err != nil {
-				return nil, nil, fmt.Errorf("detectors: %s/%d: %w", d.Name(), cfg, err)
-			}
-			alarms = append(alarms, out...)
+			jobs = append(jobs, job{d, cfg})
 		}
+	}
+	slots, err := parallel.Map(ctx, len(jobs), workers, func(_ context.Context, i int) ([]core.Alarm, error) {
+		out, err := jobs[i].d.Detect(tr, jobs[i].cfg)
+		if err != nil {
+			return nil, fmt.Errorf("detectors: %s/%d: %w", jobs[i].d.Name(), jobs[i].cfg, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var alarms []core.Alarm
+	for _, out := range slots {
+		alarms = append(alarms, out...)
 	}
 	return alarms, totals, nil
 }

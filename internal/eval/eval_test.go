@@ -1,6 +1,9 @@
 package eval
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -90,7 +93,7 @@ func TestRunRatiosAndFigures(t *testing.T) {
 	}
 	r := testRunner()
 	dates := testDates(3)
-	ratios, days, err := RunRatios(r, dates)
+	ratios, days, err := RunRatios(context.Background(), r, dates)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +196,7 @@ func TestFig3Panels(t *testing.T) {
 	arch := mawigen.NewArchive(78)
 	arch.Duration = 45
 	arch.BaseRate = 250
-	res, err := Fig3(arch, suite.Standard(), testDates(2))
+	res, err := Fig3(context.Background(), NewRunner(arch, suite.Standard()), testDates(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +235,7 @@ func TestFig4Monotonicity(t *testing.T) {
 	arch := mawigen.NewArchive(79)
 	arch.Duration = 45
 	arch.BaseRate = 250
-	res, err := Fig4(arch, suite.Standard(), testDates(2))
+	res, err := Fig4(context.Background(), NewRunner(arch, suite.Standard()), testDates(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +261,7 @@ func TestFig5Buckets(t *testing.T) {
 	arch := mawigen.NewArchive(80)
 	arch.Duration = 45
 	arch.BaseRate = 250
-	buckets, err := Fig5(arch, suite.Standard(), testDates(2))
+	buckets, err := Fig5(context.Background(), NewRunner(arch, suite.Standard()), testDates(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,5 +310,73 @@ func TestYearFraction(t *testing.T) {
 	jul := yearFraction(time.Date(2005, 7, 2, 0, 0, 0, 0, time.UTC))
 	if jul < 2005.4 || jul > 2005.6 {
 		t.Errorf("mid-year = %f", jul)
+	}
+}
+
+// TestDaysShardingDeterministic: the day-level worker pool must return, in
+// date order, exactly what the sequential runner produces — decisions,
+// reports, ratios and all.
+func TestDaysShardingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	dates := testDates(3)
+
+	seq := testRunner()
+	var want []*DayResult
+	for _, d := range dates {
+		day, err := seq.Day(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, day)
+	}
+
+	par := testRunner()
+	par.Workers = 4
+	got, err := par.Days(context.Background(), dates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Days returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Date.Equal(want[i].Date) {
+			t.Fatalf("day %d out of order: %v vs %v", i, got[i].Date, want[i].Date)
+		}
+		if !reflect.DeepEqual(want[i].Decisions, got[i].Decisions) {
+			t.Errorf("day %d: decisions differ", i)
+		}
+		if !reflect.DeepEqual(want[i].Reports, got[i].Reports) {
+			t.Errorf("day %d: reports differ", i)
+		}
+		if !reflect.DeepEqual(want[i].Totals, got[i].Totals) {
+			t.Errorf("day %d: totals differ", i)
+		}
+	}
+
+	// And RunRatios on the sharded runner agrees with the sequential one.
+	seqRatios, _, err := RunRatios(context.Background(), testRunner(), dates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRatios, _, err := RunRatios(context.Background(), par, dates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRatios, parRatios) {
+		t.Error("RunRatios differs between 1 and 4 workers")
+	}
+}
+
+// TestDaysCancellation: a cancelled context aborts the day-level fan-out.
+func TestDaysCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := testRunner()
+	r.Workers = 2
+	if _, err := r.Days(ctx, testDates(4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

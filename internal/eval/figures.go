@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,7 +10,7 @@ import (
 	"mawilab/internal/core"
 	"mawilab/internal/detectors"
 	"mawilab/internal/heuristics"
-	"mawilab/internal/mawigen"
+	"mawilab/internal/parallel"
 	"mawilab/internal/stats"
 	"mawilab/internal/trace"
 )
@@ -29,41 +30,59 @@ type Fig3Result struct {
 }
 
 // Fig3 runs the similarity estimator over the given archive days at the
-// three granularities and aggregates the four panels.
-func Fig3(archive *mawigen.Archive, dets []detectors.Detector, dates []time.Time) (*Fig3Result, error) {
+// three granularities and aggregates the four panels. The (granularity,
+// date) day-pipelines are independent, so they shard across the runner's
+// worker pool; partials are folded in date order, keeping the panels
+// identical at every worker count.
+func Fig3(ctx context.Context, r *Runner, dates []time.Time) (*Fig3Result, error) {
+	type dayPartial struct {
+		singles float64
+		sizes   []float64
+		support []float64
+		degree  []float64
+	}
 	grans := []trace.Granularity{trace.GranPacket, trace.GranUniFlow, trace.GranBiFlow}
 	out := &Fig3Result{}
 	for _, g := range grans {
-		var singles []float64
-		var sizes []float64
-		var ruleSupport []float64
-		var ruleDegree []float64
-		for _, date := range dates {
-			gen := archive.Day(date)
-			alarms, _, err := detectors.DetectAll(gen.Trace, dets)
+		// The figure sweeps the granularity axis; everything else honors
+		// the runner's configuration, like the other figure harnesses.
+		cfg := r.Estimator
+		cfg.Granularity = g
+		partials, err := parallel.Map(ctx, len(dates), r.workers(), func(ctx context.Context, di int) (dayPartial, error) {
+			gen := r.Archive.Day(dates[di])
+			alarms, _, err := detectors.DetectAllContext(ctx, gen.Trace, r.Detectors, 1)
 			if err != nil {
-				return nil, err
+				return dayPartial{}, err
 			}
-			cfg := core.DefaultEstimatorConfig()
-			cfg.Granularity = g
 			res, err := core.Estimate(gen.Trace, alarms, cfg)
 			if err != nil {
-				return nil, err
+				return dayPartial{}, err
 			}
 			decisions := make([]core.Decision, len(res.Communities))
-			reports, err := core.BuildReports(gen.Trace, res, decisions, core.DefaultReportOptions())
+			reports, err := core.BuildReportsContext(ctx, gen.Trace, res, decisions, r.ReportOpts, 1)
 			if err != nil {
-				return nil, err
+				return dayPartial{}, err
 			}
-			singles = append(singles, float64(res.SingleCommunities()))
+			p := dayPartial{singles: float64(res.SingleCommunities())}
 			for i := range res.Communities {
 				if res.Communities[i].Size() <= 1 {
 					continue
 				}
-				sizes = append(sizes, float64(res.Communities[i].Size()))
-				ruleSupport = append(ruleSupport, reports[i].RuleSupport*100)
-				ruleDegree = append(ruleDegree, snapDegree(reports[i].RuleDegree))
+				p.sizes = append(p.sizes, float64(res.Communities[i].Size()))
+				p.support = append(p.support, reports[i].RuleSupport*100)
+				p.degree = append(p.degree, snapDegree(reports[i].RuleDegree))
 			}
+			return p, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var singles, sizes, ruleSupport, ruleDegree []float64
+		for _, p := range partials {
+			singles = append(singles, p.singles)
+			sizes = append(sizes, p.sizes...)
+			ruleSupport = append(ruleSupport, p.support...)
+			ruleDegree = append(ruleDegree, p.degree...)
 		}
 		name := g.String()
 		out.SinglesCDF = append(out.SinglesCDF, stats.ECDF(name, singles))
@@ -90,22 +109,40 @@ type Fig4Result struct {
 	Degree  stats.Series // X = community size, Y = mean rule degree
 }
 
-// Fig4 aggregates rule metrics by community size over the given days.
-func Fig4(archive *mawigen.Archive, dets []detectors.Detector, dates []time.Time) (*Fig4Result, error) {
-	supportBySize := make(map[int][]float64)
-	degreeBySize := make(map[int][]float64)
-	for _, date := range dates {
-		day, err := NewRunner(archive, dets).Day(date)
+// Fig4 aggregates rule metrics by community size over the given days,
+// sharded across the runner's day-level worker pool. Each day folds to its
+// per-size tallies inside the fan-out, so full day results never
+// accumulate in memory; tallies merge in date order, keeping the series
+// identical at every worker count.
+func Fig4(ctx context.Context, r *Runner, dates []time.Time) (*Fig4Result, error) {
+	type sizeMetric struct {
+		size            int
+		support, degree float64
+	}
+	partials, err := parallel.Map(ctx, len(dates), r.workers(), func(ctx context.Context, di int) ([]sizeMetric, error) {
+		day, err := r.day(ctx, dates[di], 1)
 		if err != nil {
 			return nil, err
 		}
+		var out []sizeMetric
 		for i := range day.Result.Communities {
 			size := day.Result.Communities[i].Size()
 			if size <= 1 {
 				continue
 			}
-			supportBySize[size] = append(supportBySize[size], day.Reports[i].RuleSupport*100)
-			degreeBySize[size] = append(degreeBySize[size], day.Reports[i].RuleDegree)
+			out = append(out, sizeMetric{size, day.Reports[i].RuleSupport * 100, day.Reports[i].RuleDegree})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	supportBySize := make(map[int][]float64)
+	degreeBySize := make(map[int][]float64)
+	for _, p := range partials {
+		for _, m := range p {
+			supportBySize[m.size] = append(supportBySize[m.size], m.support)
+			degreeBySize[m.size] = append(degreeBySize[m.size], m.degree)
 		}
 	}
 	sizes := make([]int, 0, len(supportBySize))
@@ -138,33 +175,48 @@ type Fig5Bucket struct {
 // Total returns the community count in the bucket.
 func (b *Fig5Bucket) Total() int { return b.Attack + b.Special + b.Unknown }
 
-// Fig5 tallies the community landscape of Fig. 5 over the given days.
-func Fig5(archive *mawigen.Archive, dets []detectors.Detector, dates []time.Time) ([]Fig5Bucket, error) {
+// Fig5 tallies the community landscape of Fig. 5 over the given days,
+// sharded across the runner's day-level worker pool. As in Fig4, each day
+// reduces to its bucket observations inside the fan-out, so full day
+// results never accumulate in memory.
+func Fig5(ctx context.Context, r *Runner, dates []time.Time) ([]Fig5Bucket, error) {
 	type key struct {
 		size string
 		dets int
 		det  string
 	}
-	acc := make(map[key]*Fig5Bucket)
-	runner := NewRunner(archive, dets)
-	for _, date := range dates {
-		day, err := runner.Day(date)
+	type obs struct {
+		k   key
+		cls heuristics.Class
+	}
+	partials, err := parallel.Map(ctx, len(dates), r.workers(), func(ctx context.Context, di int) ([]obs, error) {
+		day, err := r.day(ctx, dates[di], 1)
 		if err != nil {
 			return nil, err
 		}
+		out := make([]obs, 0, len(day.Result.Communities))
 		for i := range day.Result.Communities {
 			c := &day.Result.Communities[i]
-			nd := len(day.Result.DetectorsIn(c))
-			k := key{size: sizeBucket(c.Size()), dets: nd}
+			k := key{size: sizeBucket(c.Size()), dets: len(day.Result.DetectorsIn(c))}
 			if c.Size() == 1 {
 				k.det = day.Result.Alarms[c.Alarms[0]].Detector
 			}
-			b := acc[k]
+			out = append(out, obs{k: k, cls: day.Reports[i].Class})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := make(map[key]*Fig5Bucket)
+	for _, p := range partials {
+		for _, o := range p {
+			b := acc[o.k]
 			if b == nil {
-				b = &Fig5Bucket{SizeBucket: k.size, Detectors: nd, Detector: k.det}
-				acc[k] = b
+				b = &Fig5Bucket{SizeBucket: o.k.size, Detectors: o.k.dets, Detector: o.k.det}
+				acc[o.k] = b
 			}
-			switch day.Reports[i].Class {
+			switch o.cls {
 			case heuristics.Attack:
 				b.Attack++
 			case heuristics.Special:
@@ -233,20 +285,19 @@ type DayRatios struct {
 	PerDetector map[string]float64
 }
 
-// RunRatios executes the pipeline on each date and collects the attack
-// ratios needed by Figures 6-10 and Table 2. It also returns the full day
-// results for the detail figures.
-func RunRatios(runner *Runner, dates []time.Time) ([]DayRatios, []*DayResult, error) {
-	var ratios []DayRatios
-	var days []*DayResult
-	for _, date := range dates {
-		day, err := runner.Day(date)
-		if err != nil {
-			return nil, nil, err
-		}
-		days = append(days, day)
+// RunRatios executes the pipeline on each date — sharded across the
+// runner's day-level worker pool — and collects the attack ratios needed by
+// Figures 6-10 and Table 2. It also returns the full day results for the
+// detail figures. Both slices are in date order regardless of worker count.
+func RunRatios(ctx context.Context, runner *Runner, dates []time.Time) ([]DayRatios, []*DayResult, error) {
+	days, err := runner.Days(ctx, dates)
+	if err != nil {
+		return nil, nil, err
+	}
+	ratios := make([]DayRatios, 0, len(days))
+	for _, day := range days {
 		dr := DayRatios{
-			Date:        date,
+			Date:        day.Date,
 			Accepted:    make(map[string]float64),
 			Rejected:    make(map[string]float64),
 			PerDetector: make(map[string]float64),

@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"mawilab/internal/detectors"
 	"mawilab/internal/heuristics"
 	"mawilab/internal/mawigen"
+	"mawilab/internal/parallel"
 )
 
 // Runner wires the archive, the detector ensemble, the similarity estimator
@@ -22,6 +24,12 @@ type Runner struct {
 	Estimator  core.EstimatorConfig
 	Strategies []core.Strategy
 	ReportOpts core.ReportOptions
+	// Workers bounds the evaluation's concurrency: Days shards the
+	// archive across a day-level worker pool of this size, and a direct
+	// Day call fans its detector runs and community labeling out over the
+	// same bound. 0 or 1 is the sequential reference path; results are
+	// identical at every setting.
+	Workers int
 }
 
 // NewRunner returns a runner with the paper's retained configuration:
@@ -55,14 +63,44 @@ type DayResult struct {
 	Truth []mawigen.Event
 }
 
-// Day runs the full pipeline for one archive day.
+// Day runs the full pipeline for one archive day, fanning the detector
+// runs and community labeling out over r.Workers goroutines.
 func (r *Runner) Day(date time.Time) (*DayResult, error) {
+	return r.day(context.Background(), date, r.workers())
+}
+
+// DayContext is Day with cancellation.
+func (r *Runner) DayContext(ctx context.Context, date time.Time) (*DayResult, error) {
+	return r.day(ctx, date, r.workers())
+}
+
+// Days analyzes many archive days, sharded across a day-level worker pool
+// of r.Workers goroutines; each day then runs its own pipeline sequentially
+// (the day-level fan-out already saturates the pool). Results are returned
+// in date order and are identical to looping Day sequentially.
+func (r *Runner) Days(ctx context.Context, dates []time.Time) ([]*DayResult, error) {
+	return parallel.Map(ctx, len(dates), r.workers(), func(ctx context.Context, i int) (*DayResult, error) {
+		return r.day(ctx, dates[i], 1)
+	})
+}
+
+// workers returns the effective worker count (>= 1).
+func (r *Runner) workers() int {
+	if r.Workers <= 0 {
+		return 1
+	}
+	return r.Workers
+}
+
+// day runs the full pipeline for one archive day with the given intra-day
+// worker bound.
+func (r *Runner) day(ctx context.Context, date time.Time, workers int) (*DayResult, error) {
 	gen := r.Archive.Day(date)
-	alarms, totals, err := detectors.DetectAll(gen.Trace, r.Detectors)
+	alarms, totals, err := detectors.DetectAllContext(ctx, gen.Trace, r.Detectors, workers)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Estimate(gen.Trace, alarms, r.Estimator)
+	res, err := core.EstimateContext(ctx, gen.Trace, alarms, r.Estimator, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +124,7 @@ func (r *Runner) Day(date time.Time) (*DayResult, error) {
 	if lastDecisions == nil {
 		lastDecisions = make([]core.Decision, len(res.Communities))
 	}
-	reports, err := core.BuildReports(gen.Trace, res, lastDecisions, r.ReportOpts)
+	reports, err := core.BuildReportsContext(ctx, gen.Trace, res, lastDecisions, r.ReportOpts, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,5 +1,7 @@
 package graphx
 
+import "sort"
+
 // Louvain runs the Louvain modularity-optimization method and returns a
 // community id for every node (ids are dense, 0-based, in order of first
 // appearance). The implementation is deterministic: nodes are scanned in
@@ -46,37 +48,65 @@ func (g *Graph) localMove() (comm []int, moved bool) {
 	if m2 == 0 {
 		return comm, false
 	}
+	// Sorted adjacency snapshot. Iterating the adjacency maps directly
+	// would visit neighbors in a different order every run, reordering the
+	// floating-point sums below and flipping near-tied gain comparisons —
+	// run-to-run nondeterminism the pipeline's byte-identical-output
+	// guarantee cannot tolerate.
+	nbrV := make([][]int, g.n)
+	nbrW := make([][]float64, g.n)
 	deg := make([]float64, g.n)
 	sumTot := make([]float64, g.n) // total degree per community
-	for i := 0; i < g.n; i++ {
-		deg[i] = g.Degree(i)
-		sumTot[i] = deg[i]
+	for u := 0; u < g.n; u++ {
+		vs := make([]int, 0, len(g.adj[u]))
+		for v := range g.adj[u] {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		ws := make([]float64, len(vs))
+		d := 2 * g.self[u]
+		for i, v := range vs {
+			ws[i] = g.adj[u][v]
+			d += ws[i]
+		}
+		nbrV[u], nbrW[u] = vs, ws
+		deg[u] = d
+		sumTot[u] = d
 	}
-	// neighWeight[c] accumulates k_{i,in} for candidate community c.
+	// neighWeight[c] accumulates k_{i,in} for candidate community c;
+	// cands lists the keys so candidates can be scanned in sorted order.
 	neighWeight := make(map[int]float64)
+	cands := make([]int, 0, 16)
 	for pass := 0; pass < 100; pass++ {
 		passMoved := false
 		for u := 0; u < g.n; u++ {
 			cu := comm[u]
-			for c := range neighWeight {
+			for _, c := range cands {
 				delete(neighWeight, c)
 			}
-			for v, w := range g.adj[u] {
-				neighWeight[comm[v]] += w
+			cands = cands[:0]
+			for i, v := range nbrV[u] {
+				c := comm[v]
+				if _, ok := neighWeight[c]; !ok {
+					cands = append(cands, c)
+				}
+				neighWeight[c] += nbrW[u][i]
 			}
+			sort.Ints(cands)
 			// Remove u from its community for the comparison.
 			sumTot[cu] -= deg[u]
 			// Gain of joining community c (up to constants):
 			// k_{i,in}(c) − sumTot[c]·k_i/(2m).
 			bestC := cu
 			bestGain := neighWeight[cu] - sumTot[cu]*deg[u]/m2
-			for c, kin := range neighWeight {
+			for _, c := range cands {
 				if c == cu {
 					continue
 				}
-				gain := kin - sumTot[c]*deg[u]/m2
-				// Strict improvement with deterministic tie-break on id.
-				if gain > bestGain+1e-12 || (gain > bestGain-1e-12 && c < bestC && gain >= bestGain) {
+				gain := neighWeight[c] - sumTot[c]*deg[u]/m2
+				// Strict improvement only; candidates ascend, so ties
+				// keep the current community, then the smallest id.
+				if gain > bestGain+1e-12 {
 					bestGain = gain
 					bestC = c
 				}
@@ -104,17 +134,23 @@ func (g *Graph) aggregate(comm []int) *Graph {
 		}
 	}
 	out := New(nc)
+	vs := make([]int, 0, 16)
 	for u := 0; u < g.n; u++ {
 		cu := comm[u]
 		if g.self[u] > 0 {
 			out.AddEdge(cu, cu, g.self[u])
 		}
-		for v, w := range g.adj[u] {
-			if v < u {
-				continue // count each undirected edge once
+		// Sorted neighbor order keeps the aggregated graph's weight sums
+		// bit-reproducible (see localMove).
+		vs = vs[:0]
+		for v := range g.adj[u] {
+			if v >= u { // count each undirected edge once
+				vs = append(vs, v)
 			}
-			cv := comm[v]
-			out.AddEdge(cu, cv, w)
+		}
+		sort.Ints(vs)
+		for _, v := range vs {
+			out.AddEdge(cu, comm[v], g.adj[u][v])
 		}
 	}
 	return out

@@ -1,8 +1,11 @@
 package mawigen
 
 import (
+	"context"
 	"math/rand"
 	"time"
+
+	"mawilab/internal/parallel"
 )
 
 // Archive models the MAWI archive over calendar time: traces per day with
@@ -18,6 +21,11 @@ type Archive struct {
 	// BaseRate is the background rate in pps before the first link
 	// upgrade.
 	BaseRate float64
+	// Workers bounds the goroutines used per generated day (anomaly
+	// injections run concurrently; see Config.Workers) and the day-level
+	// fan-out of Days. 0 or 1 is sequential; traces are identical at
+	// every setting.
+	Workers int
 }
 
 // NewArchive returns the archive model at the default experiment scale.
@@ -93,6 +101,7 @@ func (a *Archive) Day(date time.Time) *Result {
 		BackgroundRate: a.BaseRate * a.RateMultiplier(date),
 		P2PShare:       a.P2PShare(date),
 		Date:           date,
+		Workers:        a.Workers,
 	}
 
 	// Everyday anomaly draw: 3-7 events of mixed kinds.
@@ -146,6 +155,25 @@ func (a *Archive) Day(date time.Time) *Result {
 		}
 	}
 	return Generate(cfg)
+}
+
+// Days generates many archive days concurrently across the archive's
+// worker pool (a.Workers; <= 1 generates sequentially). Results are
+// returned in date order and each day's trace is identical to what Day
+// would produce, so multi-day experiments shard freely. Generation cannot
+// fail; the error is ctx's, when cancelled mid-run.
+func (a *Archive) Days(ctx context.Context, dates []time.Time) ([]*Result, error) {
+	// Per-day configs run their injections sequentially: the day-level
+	// fan-out already saturates the pool, and nesting would oversubscribe.
+	day := *a
+	day.Workers = 1
+	workers := a.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	return parallel.Map(ctx, len(dates), workers, func(_ context.Context, i int) (*Result, error) {
+		return day.Day(dates[i]), nil
+	})
 }
 
 // FirstWeekOfMonth returns the first `days` days of every month from

@@ -12,10 +12,12 @@
 package mawigen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"mawilab/internal/parallel"
 	"mawilab/internal/trace"
 )
 
@@ -143,6 +145,12 @@ type Config struct {
 	Date time.Time
 	// Name overrides the trace name (defaults to the date).
 	Name string
+	// Workers bounds the goroutines used to inject anomalies (each
+	// injection already has its own seeded RNG, so they are independent).
+	// 0 or 1 injects sequentially; every value generates an identical
+	// trace because injections land in spec order before the stable
+	// timestamp sort.
+	Workers int
 }
 
 // DefaultConfig returns a background-only 60-second trace configuration.
@@ -179,13 +187,39 @@ func Generate(cfg Config) *Result {
 		}
 	}
 	genBackground(rng, tr, cfg)
+	// Each injection draws from its own seeded RNG, so injections are
+	// independent: fan them out across a worker pool, each into a scratch
+	// trace, then splice the packets back in spec order. The pre-sort
+	// packet order is then exactly the sequential append order, and the
+	// stable timestamp sort makes the final trace byte-identical at every
+	// worker count.
+	events := make([]Event, len(cfg.Anomalies))
+	if cfg.Workers > 1 && len(cfg.Anomalies) > 1 {
+		scratch := make([]*trace.Trace, len(cfg.Anomalies))
+		_ = parallel.ForEach(context.Background(), len(cfg.Anomalies), cfg.Workers, func(_ context.Context, i int) error {
+			scratch[i] = &trace.Trace{}
+			events[i] = inject(injectRNG(cfg.Seed, i), scratch[i], cfg, cfg.Anomalies[i])
+			return nil
+		})
+		for _, s := range scratch {
+			tr.Packets = append(tr.Packets, s.Packets...)
+		}
+	} else {
+		for i, spec := range cfg.Anomalies {
+			events[i] = inject(injectRNG(cfg.Seed, i), tr, cfg, spec)
+		}
+	}
 	var truth []Event
-	for i, spec := range cfg.Anomalies {
-		ev := inject(rand.New(rand.NewSource(cfg.Seed^int64(0x9e3779b9*uint32(i+1)))), tr, cfg, spec)
+	for _, ev := range events {
 		if ev.Packets > 0 {
 			truth = append(truth, ev)
 		}
 	}
 	tr.Sort()
 	return &Result{Trace: tr, Truth: truth}
+}
+
+// injectRNG derives the independent RNG for the i-th anomaly spec.
+func injectRNG(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(0x9e3779b9*uint32(i+1))))
 }

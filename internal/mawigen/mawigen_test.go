@@ -1,6 +1,8 @@
 package mawigen
 
 import (
+	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -289,5 +291,72 @@ func TestSpecDefaults(t *testing.T) {
 	res := Generate(cfg)
 	if len(res.Truth) != 1 || res.Truth[0].Packets == 0 {
 		t.Error("spec defaults not applied")
+	}
+}
+
+// TestGenerateWorkersDeterministic: parallel anomaly injection must produce
+// a trace and ground truth identical to the sequential path — injections
+// land in spec order before the stable timestamp sort.
+func TestGenerateWorkersDeterministic(t *testing.T) {
+	mk := func(workers int) *Result {
+		cfg := DefaultConfig(99)
+		cfg.Duration = 20
+		cfg.BackgroundRate = 100
+		cfg.Workers = workers
+		cfg.Anomalies = []Spec{
+			{Kind: KindPortScan, Start: 1, Duration: 8, Rate: 120},
+			{Kind: KindSYNFlood, Start: 2, Duration: 10, Rate: 150},
+			{Kind: KindWormSasser, Start: 0, Duration: 15, Rate: 90},
+			{Kind: KindFlashCrowd, Start: 5, Duration: 10, Rate: 100},
+			{Kind: KindElephant, Start: 3, Duration: 12, Rate: 110},
+			{Kind: KindNetBIOS, Start: 4, Duration: 6, Rate: 80},
+		}
+		return Generate(cfg)
+	}
+	seq := mk(1)
+	for _, workers := range []int{2, 8} {
+		par := mk(workers)
+		if !reflect.DeepEqual(seq.Trace.Packets, par.Trace.Packets) {
+			t.Fatalf("workers=%d: packet streams differ (%d vs %d packets)",
+				workers, seq.Trace.Len(), par.Trace.Len())
+		}
+		if !reflect.DeepEqual(seq.Truth, par.Truth) {
+			t.Fatalf("workers=%d: ground truth differs", workers)
+		}
+	}
+}
+
+// TestArchiveDaysMatchesDayLoop: the concurrent multi-day generator must
+// return, in date order, exactly what sequential Day calls produce.
+func TestArchiveDaysMatchesDayLoop(t *testing.T) {
+	arch := NewArchive(7)
+	arch.Duration = 15
+	arch.BaseRate = 80
+	dates := []time.Time{
+		time.Date(2003, 9, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC),
+		time.Date(2008, 2, 20, 0, 0, 0, 0, time.UTC),
+	}
+
+	var want []*Result
+	for _, d := range dates {
+		want = append(want, arch.Day(d))
+	}
+
+	arch.Workers = 4
+	got, err := arch.Days(context.Background(), dates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Days returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i].Trace.Packets, got[i].Trace.Packets) {
+			t.Errorf("day %d: traces differ", i)
+		}
+		if !reflect.DeepEqual(want[i].Truth, got[i].Truth) {
+			t.Errorf("day %d: ground truth differs", i)
+		}
 	}
 }

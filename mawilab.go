@@ -31,8 +31,10 @@
 package mawilab
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"mawilab/internal/admd"
@@ -143,6 +145,33 @@ type Pipeline struct {
 	// RuleSupport is the Apriori minimum support for labeling (default
 	// 0.2, the paper's s = 20%).
 	RuleSupport float64
+	// Workers bounds the goroutines used by the parallel pipeline
+	// stages (detector fan-out and community labeling). 0 or 1 selects
+	// the exact sequential reference path; any value produces
+	// byte-identical output — see Parallelism.
+	Workers int
+}
+
+// Parallelism sets the pipeline's worker count and returns p for chaining.
+// n <= 0 selects runtime.GOMAXPROCS(0); n == 1 is the sequential reference
+// path. The four detectors and their per-configuration runs (and, later,
+// per-community labeling) are dispatched across a bounded worker pool, and
+// their outputs are merged in a fixed (detector, config, slot) order, so
+// the labeling is byte-identical at every worker count.
+func (p *Pipeline) Parallelism(n int) *Pipeline {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p.Workers = n
+	return p
+}
+
+// workers returns the effective worker count (>= 1).
+func (p *Pipeline) workers() int {
+	if p.Workers <= 0 {
+		return 1
+	}
+	return p.Workers
 }
 
 // NewPipeline returns the pipeline with the paper's retained
@@ -171,11 +200,17 @@ type Labeling struct {
 // Run executes the full pipeline on a trace: detect, estimate, combine,
 // label.
 func (p *Pipeline) Run(tr *Trace) (*Labeling, error) {
-	alarms, totals, err := detectors.DetectAll(tr, p.Detectors)
+	return p.RunContext(context.Background(), tr)
+}
+
+// RunContext is Run with cancellation: the detector fan-out and the
+// community-labeling stage stop scheduling new work once ctx is cancelled.
+func (p *Pipeline) RunContext(ctx context.Context, tr *Trace) (*Labeling, error) {
+	alarms, totals, err := detectors.DetectAllContext(ctx, tr, p.Detectors, p.workers())
 	if err != nil {
 		return nil, err
 	}
-	return p.RunAlarms(tr, alarms, totals)
+	return p.RunAlarmsContext(ctx, tr, alarms, totals)
 }
 
 // RunAlarms executes the estimator+combiner+labeler on externally produced
@@ -183,7 +218,12 @@ func (p *Pipeline) Run(tr *Trace) (*Labeling, error) {
 // new detectors or traffic-classifier annotations. totals maps each
 // detector name to its number of configurations.
 func (p *Pipeline) RunAlarms(tr *Trace, alarms []Alarm, totals map[string]int) (*Labeling, error) {
-	res, err := core.Estimate(tr, alarms, p.Estimator)
+	return p.RunAlarmsContext(context.Background(), tr, alarms, totals)
+}
+
+// RunAlarmsContext is RunAlarms with cancellation; see RunContext.
+func (p *Pipeline) RunAlarmsContext(ctx context.Context, tr *Trace, alarms []Alarm, totals map[string]int) (*Labeling, error) {
+	res, err := core.EstimateContext(ctx, tr, alarms, p.Estimator, p.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +236,7 @@ func (p *Pipeline) RunAlarms(tr *Trace, alarms []Alarm, totals map[string]int) (
 	if p.RuleSupport > 0 {
 		opts.RuleSupport = p.RuleSupport
 	}
-	reports, err := core.BuildReports(tr, res, dec, opts)
+	reports, err := core.BuildReportsContext(ctx, tr, res, dec, opts, p.workers())
 	if err != nil {
 		return nil, err
 	}

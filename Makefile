@@ -2,10 +2,21 @@
 # job exactly.
 
 GO ?= go
-# Benchmarks the CI smoke job tracks across commits.
-BENCH_PATTERN ?= PipelineDay|Detectors|Louvain
+# Benchmarks the CI smoke job tracks across commits (and the bench gate
+# compares against BENCH_baseline.json).
+BENCH_PATTERN ?= PipelineDay|Detectors|Louvain|SimilarityGraph
+# Total-coverage floor for `make cover`, in percent. Set from the measured
+# coverage at the time the gate was introduced (84.9%), rounded down; raise
+# it as coverage grows, never lower it to make a PR pass.
+COVER_FLOOR ?= 84.0
+# ns/op regression tolerance for `make bench-gate`, as a fraction.
+BENCH_THRESHOLD ?= 0.25
+# Iterations for `make bench`. The smoke/artifact run keeps the 1x default;
+# the CI gate job overrides with BENCHTIME=5x so a single scheduler hiccup
+# can't push a benchmark past the threshold.
+BENCHTIME ?= 1x
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench bench-gate bench-baseline cover fmt vet check
 
 all: build test
 
@@ -24,10 +35,37 @@ race:
 # BENCH_ci.json for the artifact trail. No pipe: a benchmark failure must
 # fail the recipe, and `go test | tee` would report tee's exit status.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=1x . > bench.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=$(BENCHTIME) . > bench.txt
 	@cat bench.txt
 	$(GO) run ./cmd/benchjson < bench.txt > BENCH_ci.json
 	@echo "wrote BENCH_ci.json"
+
+# Benchmark-regression gate: compare the committed baseline against a fresh
+# BENCH_ci.json (run `make bench` first, as the CI job does) and fail when a
+# tracked benchmark's ns/op regresses past BENCH_THRESHOLD. Intentional
+# trade-offs skip the gate with a "[bench-skip]" commit-message tag in CI.
+bench-gate:
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_ci.json -threshold $(BENCH_THRESHOLD)
+
+# Refresh the committed baseline from a fresh multi-iteration run (more
+# stable than the 1x smoke numbers). Do this in its own commit, with the
+# hardware noted in the commit message, whenever benches are added or a
+# deliberate perf trade-off lands.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=5x . > bench_baseline.txt
+	@cat bench_baseline.txt
+	$(GO) run ./cmd/benchjson < bench_baseline.txt > BENCH_baseline.json
+	@rm bench_baseline.txt
+	@echo "wrote BENCH_baseline.json"
+
+# Coverage gate: total statement coverage must stay at or above COVER_FLOOR.
+# cover.out is uploaded as a CI artifact for inspection.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	awk -v total=$$total -v floor=$(COVER_FLOOR) 'BEGIN { \
+		if (total + 0 < floor + 0) { printf "coverage %.1f%% is below the %.1f%% floor\n", total, floor; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", total, floor }'
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

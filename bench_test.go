@@ -21,6 +21,7 @@ import (
 	"mawilab/internal/graphx"
 	"mawilab/internal/heuristics"
 	"mawilab/internal/mawigen"
+	"mawilab/internal/simgraph"
 	"mawilab/internal/stats"
 	"mawilab/internal/trace"
 )
@@ -327,6 +328,40 @@ func detectAllForBench(tr *trace.Trace) ([]core.Alarm, map[string]int, error) {
 	return alarms, totals, nil
 }
 
+// BenchmarkSimilarityGraph times the sharded similarity-graph build
+// (internal/simgraph) alone — inverted index, pair intersection and edge
+// weighting — on the full bench-trace detector ensemble, at several
+// worker-pool sizes. workers=1 is the sequential reference path and the
+// graph is byte-identical across sub-benches (TestBuildDeterminismAcross-
+// Workers), so the ns/op ratio is the pure sharding speedup the CI bench
+// gate tracks.
+func BenchmarkSimilarityGraph(b *testing.B) {
+	tr := benchTrace(b)
+	alarms, _, err := detectAllForBench(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext := core.NewExtractor(tr, trace.GranUniFlow)
+	sets := make([]simgraph.Set, len(alarms))
+	for i := range alarms {
+		sets[i] = ext.Extract(&alarms[i]).IDs
+	}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := simgraph.Config{Measure: simgraph.Simpson, MinSimilarity: 0.1, Workers: workers}
+			var edges float64
+			for i := 0; i < b.N; i++ {
+				g, err := simgraph.Build(context.Background(), sets, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = float64(g.EdgeCount())
+			}
+			b.ReportMetric(edges, "edges")
+		})
+	}
+}
+
 // BenchmarkSCANN times the SCANN classification alone.
 func BenchmarkSCANN(b *testing.B) {
 	tr := benchTrace(b)
@@ -449,11 +484,7 @@ func BenchmarkAblationCommunities(b *testing.B) {
 	}
 	for _, algo := range []core.CommunityAlgo{core.Louvain, core.ConnectedComponents} {
 		algo := algo
-		name := "louvain"
-		if algo == core.ConnectedComponents {
-			name = "components"
-		}
-		b.Run(name, func(b *testing.B) {
+		b.Run(algo.String(), func(b *testing.B) {
 			cfg := core.DefaultEstimatorConfig()
 			cfg.Algo = algo
 			var n float64

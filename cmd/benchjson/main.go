@@ -6,12 +6,23 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'PipelineDay' -benchtime=1x | benchjson > BENCH_ci.json
+//
+// It is also the CI benchmark-regression gate:
+//
+//	benchjson -compare BENCH_baseline.json BENCH_ci.json -threshold 0.25
+//
+// compares two such JSON files and exits non-zero when any benchmark present
+// in both regresses — new ns/op exceeds old by more than the threshold
+// fraction (default 0.25). Benchmarks present on only one side are reported
+// but never fail the gate, so adding or retiring a bench does not require a
+// baseline refresh in the same commit.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -32,25 +43,84 @@ type Record struct {
 }
 
 func main() {
+	oldPath, newPath, threshold, err := parseArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	if oldPath != "" {
+		regressions, tracked, err := compareFiles(os.Stdout, oldPath, newPath, threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if tracked == 0 {
+			// A gate that tracks nothing is a gate that can never fail —
+			// misnamed baseline entries must be loud, not green.
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark appears in both %s and %s; the gate would be vacuous\n", oldPath, newPath)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.0f%%\n", regressions, threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := convert(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseArgs hand-parses the flags so `-compare old.json new.json` can take
+// its two file operands directly, with -threshold anywhere on the line.
+func parseArgs(args []string) (oldPath, newPath string, threshold float64, err error) {
+	threshold = 0.25
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-compare", "--compare":
+			if i+2 >= len(args) {
+				return "", "", 0, fmt.Errorf("-compare needs two files: old.json new.json")
+			}
+			oldPath, newPath = args[i+1], args[i+2]
+			i += 2
+		case "-threshold", "--threshold":
+			if i+1 >= len(args) {
+				return "", "", 0, fmt.Errorf("-threshold needs a value")
+			}
+			threshold, err = strconv.ParseFloat(args[i+1], 64)
+			if err != nil || threshold < 0 {
+				return "", "", 0, fmt.Errorf("bad -threshold %q", args[i+1])
+			}
+			i++
+		default:
+			return "", "", 0, fmt.Errorf("unknown argument %q", args[i])
+		}
+	}
+	if len(args) > 0 && oldPath == "" {
+		// -threshold alone would silently fall through to convert mode and
+		// block on stdin with the threshold dropped.
+		return "", "", 0, fmt.Errorf("-threshold is only meaningful with -compare old.json new.json")
+	}
+	return oldPath, newPath, threshold, nil
+}
+
+// convert reads bench text from r and writes the JSON records to w.
+func convert(r io.Reader, w io.Writer) error {
 	var out []Record
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		line := sc.Text()
-		if rec, ok := parseLine(line); ok {
+		if rec, ok := parseLine(sc.Text()); ok {
 			out = append(out, rec)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("reading input: %w", err)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
+	return enc.Encode(out)
 }
 
 // parseLine decodes one "Benchmark<Name>-P  N  v1 unit1  v2 unit2 ..." line.
@@ -84,4 +154,92 @@ func parseLine(line string) (Record, bool) {
 		rec.Metrics[unit] = v
 	}
 	return rec, true
+}
+
+// compareFiles loads two BENCH json files and prints a comparison table to
+// w, returning how many benchmarks regressed past the threshold and how
+// many were tracked (present in both files).
+func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (regressions, tracked int, err error) {
+	oldRecs, err := loadRecords(oldPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	newRecs, err := loadRecords(newPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	regressions, tracked = compare(w, oldRecs, newRecs, threshold)
+	return regressions, tracked, nil
+}
+
+func loadRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// normalizeName strips the trailing "-<GOMAXPROCS>" suffix the testing
+// package appends to benchmark names on multi-core machines (there is none
+// when GOMAXPROCS is 1). The gate compares runs across machines with
+// different core counts — a committed baseline vs a CI runner — so names
+// must be keyed without it or nothing would ever match.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// compare reports each benchmark's ns/op ratio new/old and returns the
+// number of regressions — tracked (= present in both files, keyed by their
+// normalized name) benchmarks whose new ns/op exceeds old by more than the
+// threshold fraction — along with the tracked count itself, so callers can
+// detect a vacuous comparison. A baseline of 0 ns/op can't regress. Order
+// follows the old file, so gate output is stable across runs.
+func compare(w io.Writer, oldRecs, newRecs []Record, threshold float64) (regressions, tracked int) {
+	newBy := make(map[string]Record, len(newRecs))
+	for _, r := range newRecs {
+		newBy[normalizeName(r.Name)] = r
+	}
+	seen := make(map[string]bool, len(oldRecs))
+	for _, o := range oldRecs {
+		name := normalizeName(o.Name)
+		seen[name] = true
+		n, ok := newBy[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s baseline only (retired?)\n", name)
+			continue
+		}
+		tracked++
+		if o.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-60s baseline 0 ns/op, skipped\n", name)
+			continue
+		}
+		ratio := n.NsPerOp / o.NsPerOp
+		verdict := "ok"
+		if ratio > 1+threshold {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-60s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n",
+			name, o.NsPerOp, n.NsPerOp, ratio, verdict)
+	}
+	for _, n := range newRecs {
+		if !seen[normalizeName(n.Name)] {
+			fmt.Fprintf(w, "%-60s new benchmark, no baseline\n", normalizeName(n.Name))
+		}
+	}
+	return regressions, tracked
 }

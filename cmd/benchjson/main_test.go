@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	rec, ok := parseLine("BenchmarkPipelineDay/workers=4-8   \t       3\t 128593878 ns/op")
@@ -29,5 +34,163 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("non-result line %q parsed as a record", line)
 		}
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	// The documented gate invocation: -compare old new -threshold 0.25.
+	oldP, newP, th, err := parseArgs([]string{"-compare", "a.json", "b.json", "-threshold", "0.5"})
+	if err != nil || oldP != "a.json" || newP != "b.json" || th != 0.5 {
+		t.Errorf("parsed (%q, %q, %v, %v)", oldP, newP, th, err)
+	}
+	// Threshold before -compare works too, and defaults to 0.25.
+	if _, _, th, err := parseArgs([]string{"-threshold", "0.1", "-compare", "a", "b"}); err != nil || th != 0.1 {
+		t.Errorf("flag order rejected: th=%v err=%v", th, err)
+	}
+	if _, _, th, err := parseArgs([]string{"-compare", "a", "b"}); err != nil || th != 0.25 {
+		t.Errorf("default threshold = %v, err = %v, want 0.25", th, err)
+	}
+	if _, _, _, err := parseArgs(nil); err != nil {
+		t.Errorf("bare invocation (convert mode) rejected: %v", err)
+	}
+	for _, bad := range [][]string{
+		{"-compare", "only-one.json"},
+		{"-threshold"},
+		{"-threshold", "minus", "-compare", "a", "b"},
+		{"-threshold", "0.3"}, // threshold without compare: would silently convert
+		{"stray-operand"},
+	} {
+		if _, _, _, err := parseArgs(bad); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
+	}
+}
+
+func recs(pairs ...any) []Record {
+	var out []Record
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, Record{Name: pairs[i].(string), Iterations: 1, NsPerOp: pairs[i+1].(float64)})
+	}
+	return out
+}
+
+// TestCompareFailsOnSyntheticRegression is the gate's own gate: a benchmark
+// whose ns/op grew past the threshold must count as a regression.
+func TestCompareFailsOnSyntheticRegression(t *testing.T) {
+	oldRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 1000.0, "BenchmarkPipelineDay/workers=4-4", 2000.0)
+	newRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 1300.0, "BenchmarkPipelineDay/workers=4-4", 2100.0)
+	var sb strings.Builder
+	if got, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 1 {
+		t.Fatalf("regressions = %d, want 1 (30%% > 25%% threshold)\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("report lacks REGRESSED marker:\n%s", sb.String())
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkPipelineDay/workers=4-8":   "BenchmarkPipelineDay/workers=4",     // GOMAXPROCS=8 suffix
+		"BenchmarkSimilarityGraph/workers=1": "BenchmarkSimilarityGraph/workers=1", // 1-core: no suffix
+		"BenchmarkLouvain-4":                 "BenchmarkLouvain",
+		"BenchmarkAblationThreshold/th=0.25": "BenchmarkAblationThreshold/th=0.25", // dot, not all digits
+		"BenchmarkX-":                        "BenchmarkX-",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCompareAcrossCoreCounts: a baseline recorded on a 1-core machine must
+// still gate a run from a multi-core machine — the GOMAXPROCS name suffix
+// differs, and exact-name matching would silently compare nothing.
+func TestCompareAcrossCoreCounts(t *testing.T) {
+	oldRecs := recs("BenchmarkSimilarityGraph/workers=1", 1000.0)
+	newRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 2000.0)
+	var sb strings.Builder
+	if got, tracked := compare(&sb, oldRecs, newRecs, 0.25); got != 1 || tracked != 1 {
+		t.Fatalf("regressions = %d, tracked = %d, want 1/1 — cross-machine names didn't match\n%s", got, tracked, sb.String())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	oldRecs := recs("BenchmarkA-1", 1000.0, "BenchmarkB-1", 500.0)
+	newRecs := recs("BenchmarkA-1", 1240.0, "BenchmarkB-1", 100.0) // +24% and a speedup
+	var sb strings.Builder
+	if got, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", got, sb.String())
+	}
+}
+
+// TestCompareUntrackedNeverFails: benchmarks on only one side are reported
+// but don't gate, so adding or retiring a bench needs no simultaneous
+// baseline refresh. A zero baseline can't regress either.
+func TestCompareUntrackedNeverFails(t *testing.T) {
+	oldRecs := recs("BenchmarkRetired-1", 1000.0, "BenchmarkZero-1", 0.0)
+	newRecs := recs("BenchmarkBrandNew-1", 9999999.0, "BenchmarkZero-1", 123.0)
+	var sb strings.Builder
+	if got, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", got, sb.String())
+	}
+	for _, marker := range []string{"baseline only", "new benchmark", "skipped"} {
+		if !strings.Contains(sb.String(), marker) {
+			t.Errorf("report lacks %q:\n%s", marker, sb.String())
+		}
+	}
+}
+
+// TestCompareTrackedCount: the tracked count lets the gate detect a vacuous
+// comparison — disjoint name sets (e.g. a misrecorded baseline) track
+// nothing and must not read as a green gate.
+func TestCompareTrackedCount(t *testing.T) {
+	var sb strings.Builder
+	if _, tracked := compare(&sb, recs("BenchmarkA-1", 100.0), recs("BenchmarkB-1", 100.0), 0.25); tracked != 0 {
+		t.Errorf("disjoint files: tracked = %d, want 0", tracked)
+	}
+	if _, tracked := compare(&sb, recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 0.0), recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 5.0), 0.25); tracked != 2 {
+		t.Errorf("tracked = %d, want 2 (zero-baseline benches still count as tracked)", tracked)
+	}
+}
+
+// TestCompareFilesEndToEnd drives the file-loading path with real JSON.
+func TestCompareFilesEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeJSON := func(path, body string) {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSON(oldPath, `[{"name":"BenchmarkX-1","iterations":1,"ns_per_op":100}]`)
+	writeJSON(newPath, `[{"name":"BenchmarkX-1","iterations":1,"ns_per_op":200}]`)
+	var sb strings.Builder
+	n, tracked, err := compareFiles(&sb, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || tracked != 1 {
+		t.Errorf("regressions = %d, tracked = %d, want 1/1 (2.00x)\n%s", n, tracked, sb.String())
+	}
+	if _, _, err := compareFiles(&sb, oldPath, filepath.Join(dir, "missing.json"), 0.25); err == nil {
+		t.Error("missing new.json accepted")
+	}
+	writeJSON(newPath, `{not json`)
+	if _, _, err := compareFiles(&sb, oldPath, newPath, 0.25); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	in := strings.NewReader("goos: linux\nBenchmarkX-1 \t 5\t 200 ns/op\nPASS\n")
+	var sb strings.Builder
+	if err := convert(in, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"BenchmarkX-1"`) || !strings.Contains(out, `"ns_per_op": 200`) {
+		t.Errorf("convert output:\n%s", out)
 	}
 }

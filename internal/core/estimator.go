@@ -3,42 +3,30 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"mawilab/internal/graphx"
 	"mawilab/internal/parallel"
+	"mawilab/internal/simgraph"
 	"mawilab/internal/trace"
 )
 
 // Measure selects the edge-weight similarity between two alarms' traffic
-// sets (§2.1.2). The paper evaluates three and retains Simpson.
-type Measure uint8
+// sets (§2.1.2). The paper evaluates three and retains Simpson. It is the
+// simgraph measure re-exported, so the estimator config feeds the graph
+// builder without translation.
+type Measure = simgraph.Measure
 
 // The three similarity measures of the paper.
 const (
 	// Simpson is |E1∩E2| / min(|E1|,|E2|): 1 when one alarm's traffic is
 	// contained in the other's — exactly the host-alarm-covers-flow-alarms
 	// situation of Fig. 1.
-	Simpson Measure = iota
+	Simpson = simgraph.Simpson
 	// Jaccard is |E1∩E2| / |E1∪E2|.
-	Jaccard
+	Jaccard = simgraph.Jaccard
 	// Constant weights every intersecting pair 1.
-	Constant
+	Constant = simgraph.Constant
 )
-
-// String names the measure.
-func (m Measure) String() string {
-	switch m {
-	case Simpson:
-		return "simpson"
-	case Jaccard:
-		return "jaccard"
-	case Constant:
-		return "constant"
-	default:
-		return fmt.Sprintf("measure(%d)", uint8(m))
-	}
-}
 
 // CommunityAlgo selects the community-mining algorithm run on the
 // similarity graph.
@@ -54,6 +42,18 @@ const (
 	ConnectedComponents
 )
 
+// String names the algorithm.
+func (a CommunityAlgo) String() string {
+	switch a {
+	case Louvain:
+		return "louvain"
+	case ConnectedComponents:
+		return "components"
+	default:
+		return fmt.Sprintf("algo(%d)", uint8(a))
+	}
+}
+
 // EstimatorConfig parameterizes the similarity estimator.
 type EstimatorConfig struct {
 	// Granularity of traffic comparison; the paper retains uniflow.
@@ -61,8 +61,9 @@ type EstimatorConfig struct {
 	// Measure of edge weight; the paper retains Simpson.
 	Measure Measure
 	// MinSimilarity discards edges below this weight, discriminating
-	// alarms with an irrelevant amount of traffic in common. Zero keeps
-	// every intersecting pair.
+	// alarms with an irrelevant amount of traffic in common: an edge is
+	// kept when its weight is >= MinSimilarity and > 0. Zero keeps every
+	// intersecting pair.
 	MinSimilarity float64
 	// Algo selects the community mining algorithm.
 	Algo CommunityAlgo
@@ -119,89 +120,32 @@ func Estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, er
 }
 
 // EstimateContext is Estimate with cancellation and a bounded worker pool.
-// The per-alarm traffic extraction and the per-community traffic unions —
-// the estimator's two data-parallel scans — fan out across up to `workers`
-// goroutines (<= 1 runs inline), writing into index-addressed slots; the
-// similarity graph and the community mining stay sequential. The result is
-// identical at every worker count.
+// The per-alarm traffic extraction, the similarity-graph build (sharded in
+// internal/simgraph) and the per-community traffic unions all fan out across
+// up to `workers` goroutines (<= 1 runs inline); only the community mining
+// stays sequential. The result is identical at every worker count.
 func EstimateContext(ctx context.Context, tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig, workers int) (*Result, error) {
 	if cfg.MinSimilarity < 0 || cfg.MinSimilarity > 1 {
 		return nil, fmt.Errorf("core: MinSimilarity %f out of [0,1]", cfg.MinSimilarity)
 	}
 	ext := NewExtractor(tr, cfg.Granularity)
 	sets := make([]*TrafficSet, len(alarms))
+	ids := make([]simgraph.Set, len(alarms))
 	if err := parallel.ForEach(ctx, len(alarms), workers, func(_ context.Context, i int) error {
 		sets[i] = ext.Extract(&alarms[i])
+		ids[i] = sets[i].IDs
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 
-	g := graphx.New(len(alarms))
-	// Inverted index: traffic id → alarms containing it. Intersections are
-	// then accumulated only for co-occurring pairs, keeping the build
-	// near-linear in total traffic volume instead of quadratic in alarms.
-	owners := make(map[uint64][]int32)
-	for i, ts := range sets {
-		for id := range ts.IDs {
-			owners[id] = append(owners[id], int32(i))
-		}
-	}
-	type pair struct{ a, b int32 }
-	inter := make(map[pair]int)
-	for _, list := range owners {
-		for x := 0; x < len(list); x++ {
-			for y := x + 1; y < len(list); y++ {
-				a, b := list[x], list[y]
-				if a > b {
-					a, b = b, a
-				}
-				inter[pair{a, b}]++
-			}
-		}
-	}
-	// Insert edges in sorted pair order: map iteration would accumulate the
-	// graph's total weight in a different floating-point order every run,
-	// perturbing downstream modularity comparisons.
-	pairs := make([]pair, 0, len(inter))
-	for pr := range inter {
-		pairs = append(pairs, pr)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].a != pairs[j].a {
-			return pairs[i].a < pairs[j].a
-		}
-		return pairs[i].b < pairs[j].b
+	g, err := simgraph.Build(ctx, ids, simgraph.Config{
+		Measure:       cfg.Measure,
+		MinSimilarity: cfg.MinSimilarity,
+		Workers:       workers,
 	})
-	for _, pr := range pairs {
-		n := inter[pr]
-		if n == 0 {
-			continue
-		}
-		sa, sb := sets[pr.a], sets[pr.b]
-		var w float64
-		switch cfg.Measure {
-		case Simpson:
-			m := sa.Size()
-			if sb.Size() < m {
-				m = sb.Size()
-			}
-			if m > 0 {
-				w = float64(n) / float64(m)
-			}
-		case Jaccard:
-			union := sa.Size() + sb.Size() - n
-			if union > 0 {
-				w = float64(n) / float64(union)
-			}
-		case Constant:
-			w = 1
-		default:
-			return nil, fmt.Errorf("core: unknown measure %d", cfg.Measure)
-		}
-		if w > cfg.MinSimilarity || (cfg.MinSimilarity == 0 && w > 0) {
-			g.AddEdge(int(pr.a), int(pr.b), w)
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	var assignment []int

@@ -232,7 +232,82 @@ func TestMeasureString(t *testing.T) {
 	if Simpson.String() != "simpson" || Jaccard.String() != "jaccard" || Constant.String() != "constant" {
 		t.Error("measure names wrong")
 	}
-	if Measure(9).String() == "" {
-		t.Error("unknown measure should render")
+	if Measure(9).String() != "measure(9)" {
+		t.Errorf("unknown measure renders %q", Measure(9).String())
+	}
+}
+
+func TestCommunityAlgoString(t *testing.T) {
+	if Louvain.String() != "louvain" || ConnectedComponents.String() != "components" {
+		t.Error("algorithm names wrong")
+	}
+	if CommunityAlgo(9).String() != "algo(9)" {
+		t.Errorf("unknown algorithm renders %q", CommunityAlgo(9).String())
+	}
+}
+
+// TestEstimateMinSimilarityBoundaryKept: an edge whose weight lands exactly
+// on MinSimilarity is kept — the config documents "discards edges *below*
+// this weight". Simpson(host ⊃ 1-dst flow alarm) = 1/1 = 1 here, so a
+// threshold of exactly 1 must still connect the pair.
+func TestEstimateMinSimilarityBoundaryKept(t *testing.T) {
+	tr := twoEventTrace()
+	host := scanAlarm("a", 0)
+	oneDst := Alarm{Detector: "b", Config: 0, Filters: []trace.Filter{
+		trace.NewFilter().WithSrc(trace.MakeIPv4(10, 9, 9, 9)).WithDst(trace.MakeIPv4(10, 0, 2, 5)),
+	}}
+	cfg := DefaultEstimatorConfig()
+	cfg.MinSimilarity = 1
+	res, err := Estimate(tr, []Alarm{host, oneDst}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.EdgeCount() != 1 || res.Graph.Weight(0, 1) != 1 {
+		t.Errorf("edge at w == MinSimilarity == 1 dropped (weight %v)", res.Graph.Weight(0, 1))
+	}
+	if len(res.Communities) != 1 {
+		t.Errorf("contained alarms should form one community, got %d", len(res.Communities))
+	}
+}
+
+// TestSingleCommunitiesEmptyResult: no alarms → no communities, none single.
+func TestSingleCommunitiesEmptyResult(t *testing.T) {
+	res, err := Estimate(twoEventTrace(), nil, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleCommunities() != 0 {
+		t.Errorf("SingleCommunities on empty result = %d, want 0", res.SingleCommunities())
+	}
+}
+
+// TestSingleCommunitiesSingleton: one alarm is exactly one size-1 community.
+func TestSingleCommunitiesSingleton(t *testing.T) {
+	res, err := Estimate(twoEventTrace(), []Alarm{scanAlarm("a", 0)}, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 1 || res.SingleCommunities() != 1 {
+		t.Errorf("singleton alarm: %d communities, %d single — want 1/1",
+			len(res.Communities), res.SingleCommunities())
+	}
+	if got := res.Communities[0].Size(); got != 1 {
+		t.Errorf("community size = %d, want 1", got)
+	}
+}
+
+// TestDetectorsInSingleCommunity: a size-1 community reports exactly its one
+// detector; an empty community reports none.
+func TestDetectorsInSingleCommunity(t *testing.T) {
+	res, err := Estimate(twoEventTrace(), []Alarm{scanAlarm("hough", 0)}, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := res.DetectorsIn(&res.Communities[0])
+	if len(dets) != 1 || dets[0] != "hough" {
+		t.Errorf("DetectorsIn(singleton) = %v, want [hough]", dets)
+	}
+	if dets := res.DetectorsIn(&Community{}); len(dets) != 0 {
+		t.Errorf("DetectorsIn(empty community) = %v, want none", dets)
 	}
 }

@@ -58,6 +58,22 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 	g.total += w
 }
 
+// Edge is one weighted undirected edge, used for bulk insertion.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// AddEdges inserts edges in slice order. Order matters for bit-exact
+// reproducibility: the graph's total weight is a float accumulator, so
+// callers that need identical graphs across runs must present an identically
+// ordered edge list (the similarity estimator sorts its pairs first).
+func (g *Graph) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V, e.W)
+	}
+}
+
 // Weight returns the accumulated weight between u and v (self-loop weight
 // when u == v).
 func (g *Graph) Weight(u, v int) float64 {

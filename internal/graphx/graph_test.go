@@ -281,3 +281,19 @@ func TestNeighborsIteration(t *testing.T) {
 		t.Errorf("neighbors count=%d total=%f", count, total)
 	}
 }
+
+func TestAddEdgesMatchesSequentialInserts(t *testing.T) {
+	edges := []Edge{{0, 1, 0.5}, {1, 2, 0.25}, {0, 1, 0.5}, {3, 3, 1}}
+	bulk := New(4)
+	bulk.AddEdges(edges)
+	loop := New(4)
+	for _, e := range edges {
+		loop.AddEdge(e.U, e.V, e.W)
+	}
+	if bulk.Weight(0, 1) != 1 || bulk.Weight(1, 2) != 0.25 || bulk.Weight(3, 3) != 1 {
+		t.Errorf("bulk weights wrong: %v %v %v", bulk.Weight(0, 1), bulk.Weight(1, 2), bulk.Weight(3, 3))
+	}
+	if bulk.TotalWeight() != loop.TotalWeight() || bulk.EdgeCount() != loop.EdgeCount() {
+		t.Errorf("bulk insert diverges from AddEdge loop: total %v vs %v", bulk.TotalWeight(), loop.TotalWeight())
+	}
+}

@@ -166,6 +166,24 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	return poolErr
 }
 
+// Shards is the keyed-shard fan-out: it normalizes `workers` with Clamp and
+// runs fn(ctx, shard, shards) once per shard in [0, shards), one shard per
+// worker, gathering the per-shard results in shard order. fn must partition
+// its input by key — e.g. own exactly the keys with hash(key) % shards ==
+// shard — so shards never share writes and need no locks. workers == 1 runs
+// the single shard inline: the sequential reference path. Error semantics
+// match ForEach.
+//
+// Shard-count invariance is the caller's contract: merging the per-shard
+// results must be order-insensitive (integer sums, set unions, ...) so the
+// merged output is identical at every worker count.
+func Shards[T any](ctx context.Context, workers int, fn func(ctx context.Context, shard, shards int) (T, error)) ([]T, error) {
+	shards := Clamp(workers, 0)
+	return Map(ctx, shards, shards, func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, i, shards)
+	})
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on at most `workers` goroutines
 // and gathers the results in index order — the fan-in side of a fan-out.
 // Error semantics match ForEach.

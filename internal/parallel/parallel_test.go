@@ -303,3 +303,70 @@ func TestForEachZeroItems(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestShardsPartitionCoversEveryKey(t *testing.T) {
+	// 1000 keys partitioned by key % shards: each shard keeps its own keys,
+	// the merged union must be exactly the key space, with no overlaps.
+	const nkeys = 1000
+	for _, workers := range []int{1, 2, 8} {
+		parts, err := Shards(context.Background(), workers, func(_ context.Context, shard, shards int) ([]int, error) {
+			var mine []int
+			for k := 0; k < nkeys; k++ {
+				if k%shards == shard {
+					mine = append(mine, k)
+				}
+			}
+			return mine, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(parts) != Clamp(workers, 0) {
+			t.Fatalf("workers=%d: %d shard results, want %d", workers, len(parts), Clamp(workers, 0))
+		}
+		seen := make(map[int]int)
+		for _, part := range parts {
+			for _, k := range part {
+				seen[k]++
+			}
+		}
+		if len(seen) != nkeys {
+			t.Errorf("workers=%d: union covers %d keys, want %d", workers, len(seen), nkeys)
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: key %d owned by %d shards", workers, k, n)
+			}
+		}
+	}
+}
+
+func TestShardsResultsInShardOrder(t *testing.T) {
+	out, err := Shards(context.Background(), 4, func(_ context.Context, shard, shards int) (int, error) {
+		if shards != 4 {
+			t.Errorf("shards = %d, want 4", shards)
+		}
+		return shard * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d, want %d (shard order lost)", i, v, i*10)
+		}
+	}
+}
+
+func TestShardsError(t *testing.T) {
+	boom := errors.New("shard 2 failed")
+	_, err := Shards(context.Background(), 4, func(_ context.Context, shard, _ int) (int, error) {
+		if shard == 2 {
+			return 0, boom
+		}
+		return shard, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the shard failure", err)
+	}
+}

@@ -146,9 +146,9 @@ type Pipeline struct {
 	// 0.2, the paper's s = 20%).
 	RuleSupport float64
 	// Workers bounds the goroutines used by the parallel pipeline
-	// stages (detector fan-out and community labeling). 0 or 1 selects
-	// the exact sequential reference path; any value produces
-	// byte-identical output — see Parallelism.
+	// stages (detector fan-out, the sharded similarity-graph build and
+	// community labeling). 0 or 1 selects the exact sequential reference
+	// path; any value produces byte-identical output — see Parallelism.
 	Workers int
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mawilab/internal/core"
+	"mawilab/internal/detectors"
 	"mawilab/internal/trace"
 )
 
@@ -67,6 +68,43 @@ func TestParallelismDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(admdSeq.Bytes(), admdPar.Bytes()) {
 		t.Fatal("ADMD labeling not byte-identical between Parallelism(1) and Parallelism(8)")
+	}
+}
+
+// TestEstimatorParallelismDeterminism is the simgraph-level equivalent of
+// TestParallelismDeterminism: the estimator — whose similarity graph is now
+// built by the sharded internal/simgraph package — must produce identical
+// graphs, Louvain community assignments and traffic unions at workers
+// 1, 2, 4 and 8 on a real detector ensemble.
+func TestEstimatorParallelismDeterminism(t *testing.T) {
+	tr, _ := detTestArchiveDay()
+	p := NewPipeline()
+	alarms, _, err := detectors.DetectAllContext(context.Background(), tr, p.Detectors, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("detector ensemble produced no alarms on a Sasser-era day")
+	}
+	ref, err := core.EstimateContext(context.Background(), tr, alarms, p.Estimator, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := core.EstimateContext(context.Background(), tr, alarms, p.Estimator, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(res.Graph, ref.Graph) {
+			t.Fatalf("workers=%d: similarity graph differs from the sequential reference", workers)
+		}
+		if res.Graph.TotalWeight() != ref.Graph.TotalWeight() {
+			t.Fatalf("workers=%d: total weight %v != %v", workers, res.Graph.TotalWeight(), ref.Graph.TotalWeight())
+		}
+		if !reflect.DeepEqual(res.Communities, ref.Communities) {
+			t.Fatalf("workers=%d: Louvain communities differ (%d vs %d)",
+				workers, len(res.Communities), len(ref.Communities))
+		}
 	}
 }
 

@@ -3,7 +3,9 @@
 
 GO ?= go
 # Benchmarks the CI smoke job tracks across commits (and the bench gate
-# compares against BENCH_baseline.json).
+# compares against BENCH_baseline.json). PipelineDay, SimilarityGraph and
+# Louvain carry workers={1,4,N} sub-benches, so each run records the
+# parallel speedup ratios too.
 BENCH_PATTERN ?= PipelineDay|Detectors|Louvain|SimilarityGraph
 # Total-coverage floor for `make cover`, in percent. Set from the measured
 # coverage at the time the gate was introduced (84.9%), rounded down; raise

@@ -170,7 +170,10 @@ func BenchmarkFig8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, det := range []string{"gamma", "hough", "kl"} {
-			pts := eval.Fig8(days, "SCANN", det)
+			pts, err := eval.Fig8(days, "SCANN", det)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if len(pts) == 0 {
 				b.Fatal("no fig8 points")
 			}
@@ -186,7 +189,10 @@ func BenchmarkFig9(b *testing.B) {
 	b.ResetTimer()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		rows := eval.Fig9(days, "SCANN")
+		rows, err := eval.Fig9(days, "SCANN")
+		if err != nil {
+			b.Fatal(err)
+		}
 		scann, best := 0, 0
 		for _, r := range rows {
 			if r.Name == "SCANN" {
@@ -207,7 +213,10 @@ func BenchmarkFig10(b *testing.B) {
 	_, days := benchRatios(b, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		series := eval.Fig10(days, "SCANN")
+		series, err := eval.Fig10(days, "SCANN")
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(series) != 3 {
 			b.Fatal("fig10 classes missing")
 		}
@@ -220,7 +229,10 @@ func BenchmarkTable2(b *testing.B) {
 	b.ResetTimer()
 	var gainAcc float64
 	for i := 0; i < b.N; i++ {
-		gc := eval.Table2(days, "SCANN")
+		gc, err := eval.Table2(days, "SCANN")
+		if err != nil {
+			b.Fatal(err)
+		}
 		gainAcc = float64(gc.GainAcc)
 	}
 	b.ReportMetric(gainAcc, "gain_acc")
@@ -382,7 +394,11 @@ func BenchmarkSCANN(b *testing.B) {
 	}
 }
 
-// BenchmarkLouvain times community mining on a planted-partition graph.
+// BenchmarkLouvain times community mining on a planted-partition graph at
+// several worker-pool sizes. workers=1 is the sequential reference path and
+// the assignment is byte-identical across sub-benches (graphx's
+// TestLouvainParallelismDeterminism), so the ns/op ratio is the pure
+// propose/commit parallelization speedup the CI bench gate tracks.
 func BenchmarkLouvain(b *testing.B) {
 	g := graphx.New(400)
 	// 20 groups of 20, dense inside.
@@ -399,12 +415,27 @@ func BenchmarkLouvain(b *testing.B) {
 			g.AddEdge(base, base-1, 0.1)
 		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		comm := g.Louvain()
-		if len(comm) != 400 {
-			b.Fatal("bad assignment")
-		}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var communities float64
+			for i := 0; i < b.N; i++ {
+				comm, err := g.LouvainContext(context.Background(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(comm) != 400 {
+					b.Fatal("bad assignment")
+				}
+				nc := 0
+				for _, c := range comm {
+					if c+1 > nc {
+						nc = c + 1
+					}
+				}
+				communities = float64(nc)
+			}
+			b.ReportMetric(communities, "communities")
+		})
 	}
 }
 

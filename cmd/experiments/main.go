@@ -134,7 +134,8 @@ func main() {
 				{"hough", "Fig 8b: rejected communities (Hough highlighted)"},
 				{"kl", "Fig 8c: accepted communities (KL highlighted)"},
 			} {
-				pts := eval.Fig8(days, "SCANN", hl.det)
+				pts, err := eval.Fig8(days, "SCANN", hl.det)
+				check(err)
 				fmt.Printf("# %s\n", hl.panel)
 				fmt.Printf("%-12s %12s %12s %12s %12s\n", "date",
 					"ovl_gainRej", hl.det+"_gainRej", "ovl_costRej", hl.det+"_costRej")
@@ -151,7 +152,8 @@ func main() {
 			}
 		}
 		if want("fig9") || want("headline") {
-			rows := eval.Fig9(days, "SCANN")
+			rows, err := eval.Fig9(days, "SCANN")
+			check(err)
 			fmt.Print(eval.RenderFig9(rows))
 			// The paper's headline compares SCANN against the *most
 			// accurate* detector — the one with the highest attack ratio
@@ -184,12 +186,14 @@ func main() {
 			fmt.Println()
 		}
 		if want("fig10") {
-			series := eval.Fig10(days, "SCANN")
+			series, err := eval.Fig10(days, "SCANN")
+			check(err)
 			fmt.Print(stats.RenderTable("Fig 10: PDF of rejected-community relative distance", "reldist", series...))
 			fmt.Println()
 		}
 		if want("table2") {
-			gc := eval.Table2(days, "SCANN")
+			gc, err := eval.Table2(days, "SCANN")
+			check(err)
 			fmt.Print(eval.RenderTable2(gc, "SCANN"))
 			fmt.Println()
 		}

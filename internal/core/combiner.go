@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // DetectorScores maps detector name → confidence score φ_d(c) ∈ [0,1] for
@@ -140,16 +141,14 @@ func (s *aggregateStrategy) Classify(r *Result, conf []DetectorScores) ([]Decisi
 	return out, nil
 }
 
+// sortedDetectors returns the score keys in ascending name order, fixing
+// the fold order of the aggregate strategies independently of map iteration.
 func sortedDetectors(scores DetectorScores) []string {
 	out := make([]string, 0, len(scores))
 	for d := range scores {
 		out = append(out, d)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

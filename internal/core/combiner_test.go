@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -104,6 +105,18 @@ func TestMajorityVote(t *testing.T) {
 	// 2 of 3 detectors vote (A, B) → accepted.
 	if !dec[0].Accepted {
 		t.Error("majority of detectors voted; should accept")
+	}
+}
+
+func TestSortedDetectorsOrder(t *testing.T) {
+	scores := DetectorScores{"pca": 1, "gamma": 0.5, "kl": 0, "hough": 0.25}
+	want := []string{"gamma", "hough", "kl", "pca"}
+	got := sortedDetectors(scores)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sortedDetectors = %v, want %v", got, want)
+	}
+	if len(sortedDetectors(DetectorScores{})) != 0 {
+		t.Error("empty scores must give no detectors")
 	}
 }
 

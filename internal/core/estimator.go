@@ -121,9 +121,11 @@ func Estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, er
 
 // EstimateContext is Estimate with cancellation and a bounded worker pool.
 // The per-alarm traffic extraction, the similarity-graph build (sharded in
-// internal/simgraph) and the per-community traffic unions all fan out across
-// up to `workers` goroutines (<= 1 runs inline); only the community mining
-// stays sequential. The result is identical at every worker count.
+// internal/simgraph), the Louvain community mining (partition-parallel
+// local-move proposals with a sequential index-ordered commit, see
+// graphx.LouvainContext) and the per-community traffic unions all fan out
+// across up to `workers` goroutines (<= 1 runs inline). The result is
+// identical at every worker count.
 func EstimateContext(ctx context.Context, tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig, workers int) (*Result, error) {
 	if cfg.MinSimilarity < 0 || cfg.MinSimilarity > 1 {
 		return nil, fmt.Errorf("core: MinSimilarity %f out of [0,1]", cfg.MinSimilarity)
@@ -151,7 +153,10 @@ func EstimateContext(ctx context.Context, tr *trace.Trace, alarms []Alarm, cfg E
 	var assignment []int
 	switch cfg.Algo {
 	case Louvain:
-		assignment = g.Louvain()
+		assignment, err = g.LouvainContext(ctx, workers)
+		if err != nil {
+			return nil, err
+		}
 	case ConnectedComponents:
 		assignment = g.Components()
 	default:

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -79,6 +80,62 @@ func TestAttackRatioBounds(t *testing.T) {
 	}
 }
 
+// TestComputeGainCostLengthMismatch: a decisions slice from another day (or
+// a stale strategy run) must be rejected with a descriptive error, not index
+// out of range.
+func TestComputeGainCostLengthMismatch(t *testing.T) {
+	day := &DayResult{
+		Date:    time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC),
+		Reports: make([]core.CommunityReport, 3),
+	}
+	_, err := ComputeGainCost(day, make([]core.Decision, 2), "")
+	if err == nil || !strings.Contains(err.Error(), "2 decisions for 3 reports") {
+		t.Fatalf("err = %v, want a decisions/reports mismatch", err)
+	}
+	// Fig9 and Fig10 index the same decisions per report and must reject
+	// the mismatch too instead of panicking mid-tally.
+	day.Decisions = map[string][]core.Decision{"SCANN": make([]core.Decision, 2)}
+	if _, err := Fig9([]*DayResult{day}, "SCANN"); err == nil {
+		t.Fatal("Fig9 must reject misaligned decisions")
+	}
+	if _, err := Fig10([]*DayResult{day}, "SCANN"); err == nil {
+		t.Fatal("Fig10 must reject misaligned decisions")
+	}
+	// Aligned decisions tally normally: zero-value reports are non-Attack
+	// and zero-value decisions are rejections, so all three are GainRej.
+	gc, err := ComputeGainCost(day, make([]core.Decision, 3), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc != (GainCost{GainRej: 3}) {
+		t.Fatalf("gc = %+v, want {GainRej: 3}", gc)
+	}
+}
+
+// truncatingStrategy is a misbehaving custom Strategy returning one decision
+// too few; it previously slipped through Runner.day unchecked and panicked
+// downstream in RunRatios/Fig8-10.
+type truncatingStrategy struct{}
+
+func (truncatingStrategy) Name() string { return "truncating" }
+
+func (truncatingStrategy) Classify(r *core.Result, conf []core.DetectorScores) ([]core.Decision, error) {
+	n := len(r.Communities)
+	if n > 0 {
+		n--
+	}
+	return make([]core.Decision, n), nil
+}
+
+func TestDayRejectsMisalignedStrategy(t *testing.T) {
+	r := testRunner()
+	r.Strategies = []core.Strategy{truncatingStrategy{}}
+	_, err := r.Day(testDates(1)[0])
+	if err == nil || !strings.Contains(err.Error(), "decisions for") {
+		t.Fatalf("err = %v, want a decisions/communities mismatch", err)
+	}
+}
+
 func TestGainCostAdd(t *testing.T) {
 	a := GainCost{1, 2, 3, 4}
 	a.Add(GainCost{10, 20, 30, 40})
@@ -137,7 +194,10 @@ func TestRunRatiosAndFigures(t *testing.T) {
 
 	// Fig 8 per-detector decomposition must be bounded by the overall.
 	for _, det := range []string{"gamma", "hough", "kl"} {
-		pts := Fig8(days, "SCANN", det)
+		pts, err := Fig8(days, "SCANN", det)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(pts) != 3 {
 			t.Fatalf("fig8 points = %d", len(pts))
 		}
@@ -150,7 +210,10 @@ func TestRunRatiosAndFigures(t *testing.T) {
 	}
 
 	// Fig 9: SCANN row must dominate every single detector row.
-	rows := Fig9(days, "SCANN")
+	rows, err := Fig9(days, "SCANN")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var scann *Fig9Row
 	for i := range rows {
 		if rows[i].Name == "SCANN" {
@@ -167,13 +230,19 @@ func TestRunRatiosAndFigures(t *testing.T) {
 	}
 
 	// Fig 10: PDFs over [0,10].
-	f10 := Fig10(days, "SCANN")
+	f10, err := Fig10(days, "SCANN")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f10) != 3 {
 		t.Errorf("fig10 series = %d, want 3 classes", len(f10))
 	}
 
 	// Table 2 totals must equal the community count over all days.
-	gc := Table2(days, "SCANN")
+	gc, err := Table2(days, "SCANN")
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := gc.GainAcc + gc.CostAcc + gc.GainRej + gc.CostRej
 	want := 0
 	for _, day := range days {

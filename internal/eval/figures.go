@@ -395,15 +395,21 @@ type Fig8Point struct {
 
 // Fig8 computes the per-day gain/cost decomposition with one detector
 // highlighted, under the named strategy (SCANN in the paper).
-func Fig8(days []*DayResult, strategy, detector string) []Fig8Point {
+func Fig8(days []*DayResult, strategy, detector string) ([]Fig8Point, error) {
 	var out []Fig8Point
 	for _, day := range days {
 		dec, ok := day.Decisions[strategy]
 		if !ok {
 			continue
 		}
-		overall := ComputeGainCost(day, dec, "")
-		det := ComputeGainCost(day, dec, detector)
+		overall, err := ComputeGainCost(day, dec, "")
+		if err != nil {
+			return nil, err
+		}
+		det, err := ComputeGainCost(day, dec, detector)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, Fig8Point{
 			Date:            day.Date,
 			OverallGainRej:  overall.GainRej,
@@ -416,7 +422,7 @@ func Fig8(days []*DayResult, strategy, detector string) []Fig8Point {
 			DetectorCostAcc: det.CostAcc,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Fig9Row is one bar group of Fig. 9: accepted-and-Attack community counts
@@ -431,7 +437,7 @@ type Fig9Row struct {
 // overall under the named strategy. The headline comparison — SCANN finds
 // about twice as many anomalies as the most accurate detector — reads
 // directly off the Totals.
-func Fig9(days []*DayResult, strategy string) []Fig9Row {
+func Fig9(days []*DayResult, strategy string) ([]Fig9Row, error) {
 	names := detectorNames(days)
 	rows := make([]Fig9Row, 0, len(names)+1)
 	for _, n := range append(names, "SCANN") {
@@ -445,6 +451,9 @@ func Fig9(days []*DayResult, strategy string) []Fig9Row {
 		dec, ok := day.Decisions[strategy]
 		if !ok {
 			continue
+		}
+		if err := checkDecisions(day, dec); err != nil {
+			return nil, err
 		}
 		for i := range day.Reports {
 			if !dec[i].Accepted || day.Reports[i].Class != heuristics.Attack {
@@ -463,7 +472,7 @@ func Fig9(days []*DayResult, strategy string) []Fig9Row {
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 func detectorNames(days []*DayResult) []string {
@@ -484,12 +493,15 @@ func detectorNames(days []*DayResult) []string {
 // Fig10 builds the PDF of the relative distance of rejected communities,
 // one series per Table 1 class (Attack / Special / Unknown), under the
 // named strategy.
-func Fig10(days []*DayResult, strategy string) []stats.Series {
+func Fig10(days []*DayResult, strategy string) ([]stats.Series, error) {
 	byClass := map[heuristics.Class][]float64{}
 	for _, day := range days {
 		dec, ok := day.Decisions[strategy]
 		if !ok {
 			continue
+		}
+		if err := checkDecisions(day, dec); err != nil {
+			return nil, err
 		}
 		for i := range day.Reports {
 			if dec[i].Accepted {
@@ -506,18 +518,22 @@ func Fig10(days []*DayResult, strategy string) []stats.Series {
 	for _, cls := range []heuristics.Class{heuristics.Attack, heuristics.Special, heuristics.Unknown} {
 		out = append(out, stats.PDF(cls.String(), byClass[cls], 0, 10, 40))
 	}
-	return out
+	return out, nil
 }
 
 // Table2 accumulates the SCANN gain/cost quadrants over all days.
-func Table2(days []*DayResult, strategy string) GainCost {
+func Table2(days []*DayResult, strategy string) (GainCost, error) {
 	var total GainCost
 	for _, day := range days {
 		if dec, ok := day.Decisions[strategy]; ok {
-			total.Add(ComputeGainCost(day, dec, ""))
+			gc, err := ComputeGainCost(day, dec, "")
+			if err != nil {
+				return total, err
+			}
+			total.Add(gc)
 		}
 	}
-	return total
+	return total, nil
 }
 
 // RenderFig5 renders the Fig. 5 buckets as a text table.

@@ -118,6 +118,13 @@ func (r *Runner) day(ctx context.Context, date time.Time, workers int) (*DayResu
 		if err != nil {
 			return nil, fmt.Errorf("eval: %s on %s: %w", s.Name(), date.Format("2006-01-02"), err)
 		}
+		// Decisions are indexed by community everywhere downstream
+		// (RunRatios, Fig8-10, ComputeGainCost); a strategy returning a
+		// short or stale slice must fail here, not panic later.
+		if len(dec) != len(res.Communities) {
+			return nil, fmt.Errorf("eval: %s on %s: %d decisions for %d communities",
+				s.Name(), date.Format("2006-01-02"), len(dec), len(res.Communities))
+		}
 		out.Decisions[s.Name()] = dec
 		lastDecisions = dec
 	}
@@ -173,9 +180,14 @@ func (g *GainCost) Add(o GainCost) {
 
 // ComputeGainCost tallies Table 2 for one day under the given decisions.
 // The optional detector filter restricts the count to communities
-// containing at least one alarm from that detector ("" = all).
-func ComputeGainCost(day *DayResult, decisions []core.Decision, detector string) GainCost {
+// containing at least one alarm from that detector ("" = all). The
+// decisions must be the day's own — one per report; a stale slice from
+// another day's strategy run is rejected instead of panicking mid-tally.
+func ComputeGainCost(day *DayResult, decisions []core.Decision, detector string) (GainCost, error) {
 	var gc GainCost
+	if err := checkDecisions(day, decisions); err != nil {
+		return gc, err
+	}
 	for i := range day.Reports {
 		if detector != "" && !communityHasDetector(day.Result, i, detector) {
 			continue
@@ -195,7 +207,18 @@ func ComputeGainCost(day *DayResult, decisions []core.Decision, detector string)
 			}
 		}
 	}
-	return gc
+	return gc, nil
+}
+
+// checkDecisions guards the report-indexed tallies (ComputeGainCost,
+// Fig9, Fig10) against a decisions slice that does not belong to the day —
+// e.g. a stale slice from another day's strategy run.
+func checkDecisions(day *DayResult, decisions []core.Decision) error {
+	if len(decisions) != len(day.Reports) {
+		return fmt.Errorf("eval: %d decisions for %d reports on %s",
+			len(decisions), len(day.Reports), day.Date.Format("2006-01-02"))
+	}
+	return nil
 }
 
 func communityHasDetector(res *core.Result, ci int, detector string) bool {

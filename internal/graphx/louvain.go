@@ -1,6 +1,59 @@
 package graphx
 
-import "sort"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Local-move defaults (see LouvainOptions).
+const (
+	// DefaultMaxPasses caps the greedy local-move passes per level. With
+	// the modularity-delta criterion doing the real stopping, the cap is an
+	// escape hatch against the (theoretically possible) floating-point move
+	// cycles the delta criterion cannot rule out; hitting it is reported,
+	// never silent.
+	DefaultMaxPasses = 100
+	// DefaultMinDeltaQ is the convergence threshold: a local-move pass
+	// whose total modularity gain ΔQ falls below it ends the level even if
+	// individual nodes are still shuffling between near-tied communities.
+	DefaultMinDeltaQ = 1e-9
+)
+
+// ErrMaxPasses reports that local moving was stopped by the MaxPasses
+// escape hatch before the modularity-delta criterion declared convergence.
+// LouvainContext discards the half-converged partition when returning it;
+// callers that want the best partition found anyway should use LouvainWith
+// and read the Converged flag.
+var ErrMaxPasses = errors.New("graphx: Louvain local move hit MaxPasses before converging")
+
+// LouvainOptions tunes the Louvain run.
+type LouvainOptions struct {
+	// Workers bounds the proposal/aggregation fan-out: 1 runs every stage
+	// inline — the fused sequential reference path — and <= 0 selects
+	// every core (parallel.Clamp), like the Workers knobs elsewhere in the
+	// pipeline. The assignment is byte-identical at every setting.
+	Workers int
+	// MaxPasses caps local-move passes per level; 0 means DefaultMaxPasses.
+	MaxPasses int
+	// MinDeltaQ is the per-pass modularity-gain convergence threshold;
+	// 0 means DefaultMinDeltaQ, negative disables the criterion (a level
+	// then ends only when a pass moves no node, or at MaxPasses).
+	MinDeltaQ float64
+}
+
+// LouvainResult carries the assignment plus convergence telemetry.
+type LouvainResult struct {
+	// Assignment maps each node to a dense community id (0-based, in order
+	// of first appearance).
+	Assignment []int
+	// Converged is false when any level's local move was stopped by the
+	// MaxPasses cap instead of the convergence criterion.
+	Converged bool
+	// Levels counts the aggregation levels run, Passes the local-move
+	// passes summed over them.
+	Levels, Passes int
+}
 
 // Louvain runs the Louvain modularity-optimization method and returns a
 // community id for every node (ids are dense, 0-based, in order of first
@@ -11,149 +64,89 @@ import "sort"
 // local moving (each node greedily joins the neighboring community with the
 // largest gain) and aggregation (each community collapses into one node,
 // with internal weight becoming a self-loop).
+//
+// Louvain is the sequential wrapper: it runs every stage inline and always
+// returns an assignment, keeping the legacy contract. Use LouvainContext
+// for cancellation and a worker pool, or LouvainWith to observe the
+// convergence telemetry instead of failing on a MaxPasses overrun.
 func (g *Graph) Louvain() []int {
+	res, err := g.LouvainWith(context.Background(), LouvainOptions{Workers: 1})
+	if err != nil {
+		// Unreachable: the background context is never cancelled and
+		// LouvainWith has no other failure mode.
+		panic(err)
+	}
+	return res.Assignment
+}
+
+// LouvainContext is Louvain with cancellation and a bounded worker pool:
+// the local-move proposal phase, the adjacency snapshot and the aggregation
+// fold fan out across up to `workers` goroutines (see louvain_parallel.go),
+// while the commit pass stays sequential and index-ordered — so the
+// assignment is byte-identical at every worker count, workers == 1 being
+// the exact sequential reference path. A partition that failed to converge
+// within DefaultMaxPasses is reported as ErrMaxPasses rather than returned
+// silently half-optimized.
+func (g *Graph) LouvainContext(ctx context.Context, workers int) ([]int, error) {
+	res, err := g.LouvainWith(ctx, LouvainOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("%w (MaxPasses=%d, levels=%d)", ErrMaxPasses, DefaultMaxPasses, res.Levels)
+	}
+	return res.Assignment, nil
+}
+
+// LouvainWith runs Louvain under explicit options and returns the full
+// result, including whether every level converged before its pass cap. The
+// only error is the context's.
+func (g *Graph) LouvainWith(ctx context.Context, opts LouvainOptions) (*LouvainResult, error) {
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = DefaultMaxPasses
+	}
+	if opts.MinDeltaQ == 0 {
+		opts.MinDeltaQ = DefaultMinDeltaQ
+	}
 	// assignment maps original nodes to communities of the current level.
 	assignment := make([]int, g.n)
 	for i := range assignment {
 		assignment[i] = i
 	}
+	res := &LouvainResult{Converged: true}
 	cur := g
 	for {
-		comm, moved := cur.localMove()
-		if !moved {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lm, err := cur.localMove(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Levels++
+		res.Passes += lm.passes
+		if lm.capped {
+			res.Converged = false
+		}
+		if !lm.moved {
 			break
 		}
-		comm = compactIDs(comm)
+		comm := compactIDs(lm.comm)
 		// Fold this level's communities into the cumulative assignment.
 		for i := range assignment {
 			assignment[i] = comm[assignment[i]]
 		}
-		next := cur.aggregate(comm)
+		next, err := cur.aggregate(ctx, comm, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
 		if next.n == cur.n {
 			break // no aggregation progress
 		}
 		cur = next
 	}
-	return compactIDs(assignment)
-}
-
-// localMove runs repeated greedy passes and returns the per-node community
-// plus whether any node changed community.
-func (g *Graph) localMove() (comm []int, moved bool) {
-	comm = make([]int, g.n)
-	for i := range comm {
-		comm[i] = i
-	}
-	m2 := 2 * g.total // 2m
-	if m2 == 0 {
-		return comm, false
-	}
-	// Sorted adjacency snapshot. Iterating the adjacency maps directly
-	// would visit neighbors in a different order every run, reordering the
-	// floating-point sums below and flipping near-tied gain comparisons —
-	// run-to-run nondeterminism the pipeline's byte-identical-output
-	// guarantee cannot tolerate.
-	nbrV := make([][]int, g.n)
-	nbrW := make([][]float64, g.n)
-	deg := make([]float64, g.n)
-	sumTot := make([]float64, g.n) // total degree per community
-	for u := 0; u < g.n; u++ {
-		vs := make([]int, 0, len(g.adj[u]))
-		for v := range g.adj[u] {
-			vs = append(vs, v)
-		}
-		sort.Ints(vs)
-		ws := make([]float64, len(vs))
-		d := 2 * g.self[u]
-		for i, v := range vs {
-			ws[i] = g.adj[u][v]
-			d += ws[i]
-		}
-		nbrV[u], nbrW[u] = vs, ws
-		deg[u] = d
-		sumTot[u] = d
-	}
-	// neighWeight[c] accumulates k_{i,in} for candidate community c;
-	// cands lists the keys so candidates can be scanned in sorted order.
-	neighWeight := make(map[int]float64)
-	cands := make([]int, 0, 16)
-	for pass := 0; pass < 100; pass++ {
-		passMoved := false
-		for u := 0; u < g.n; u++ {
-			cu := comm[u]
-			for _, c := range cands {
-				delete(neighWeight, c)
-			}
-			cands = cands[:0]
-			for i, v := range nbrV[u] {
-				c := comm[v]
-				if _, ok := neighWeight[c]; !ok {
-					cands = append(cands, c)
-				}
-				neighWeight[c] += nbrW[u][i]
-			}
-			sort.Ints(cands)
-			// Remove u from its community for the comparison.
-			sumTot[cu] -= deg[u]
-			// Gain of joining community c (up to constants):
-			// k_{i,in}(c) − sumTot[c]·k_i/(2m).
-			bestC := cu
-			bestGain := neighWeight[cu] - sumTot[cu]*deg[u]/m2
-			for _, c := range cands {
-				if c == cu {
-					continue
-				}
-				gain := neighWeight[c] - sumTot[c]*deg[u]/m2
-				// Strict improvement only; candidates ascend, so ties
-				// keep the current community, then the smallest id.
-				if gain > bestGain+1e-12 {
-					bestGain = gain
-					bestC = c
-				}
-			}
-			sumTot[bestC] += deg[u]
-			if bestC != cu {
-				comm[u] = bestC
-				passMoved = true
-				moved = true
-			}
-		}
-		if !passMoved {
-			break
-		}
-	}
-	return comm, moved
-}
-
-// aggregate collapses each community of comm (dense ids) into a single node.
-func (g *Graph) aggregate(comm []int) *Graph {
-	nc := 0
-	for _, c := range comm {
-		if c+1 > nc {
-			nc = c + 1
-		}
-	}
-	out := New(nc)
-	vs := make([]int, 0, 16)
-	for u := 0; u < g.n; u++ {
-		cu := comm[u]
-		if g.self[u] > 0 {
-			out.AddEdge(cu, cu, g.self[u])
-		}
-		// Sorted neighbor order keeps the aggregated graph's weight sums
-		// bit-reproducible (see localMove).
-		vs = vs[:0]
-		for v := range g.adj[u] {
-			if v >= u { // count each undirected edge once
-				vs = append(vs, v)
-			}
-		}
-		sort.Ints(vs)
-		for _, v := range vs {
-			out.AddEdge(cu, comm[v], g.adj[u][v])
-		}
-	}
-	return out
+	res.Assignment = compactIDs(assignment)
+	return res, nil
 }
 
 // compactIDs renumbers arbitrary community ids densely, in order of first

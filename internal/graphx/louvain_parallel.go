@@ -1,0 +1,343 @@
+package graphx
+
+import (
+	"context"
+	"sort"
+
+	"mawilab/internal/parallel"
+)
+
+// Partition-parallel local moving.
+//
+// The sequential Louvain sweep visits nodes in index order, each decision
+// reading the communities and community totals left behind by every earlier
+// decision — a chain that cannot be split naively without changing the
+// output. The scheme here keeps the chain's results bit-for-bit while
+// extracting the parallelism that is actually available:
+//
+//  1. propose (parallel over contiguous index ranges): every node's greedy
+//     decision is computed against a frozen snapshot of the pass-start
+//     communities and totals, written into its own slot;
+//  2. commit (sequential, index-ordered): each node's proposal is applied
+//     only if its inputs are still live-exact — no neighbor has moved this
+//     pass and no candidate community's total drifted from the snapshot
+//     (totals are compared bitwise, so even same-community remove/re-add
+//     rounding invalidates). Stale proposals are recomputed on the spot
+//     against the live state with the identical arithmetic.
+//
+// A recomputation is exactly one step of the sequential sweep, and a valid
+// proposal is bitwise equal to what that step would have produced, so the
+// committed assignment — at any worker count, including 1 — is the
+// sequential sweep's assignment, byte for byte. Late passes, where few
+// nodes still move, validate almost everywhere and run at snapshot speed;
+// the heavy per-node candidate scans all happen in the parallel phase.
+//
+// The adjacency snapshot build and the aggregation fold are parallel over
+// contiguous index ranges too; aggregation emits per-range edge lists whose
+// slot-ordered concatenation reproduces the sequential AddEdge order, so
+// the aggregated graph's float accumulators never depend on the worker
+// count either.
+
+// louvainLevel is the frozen per-level state of local moving: the sorted
+// adjacency snapshot, weighted degrees and 2m.
+type louvainLevel struct {
+	m2   float64 // 2m
+	nbrV [][]int
+	nbrW [][]float64
+	deg  []float64
+}
+
+// newLouvainLevel builds the level snapshot, fanning the per-node adjacency
+// sorts out over contiguous index ranges. Iterating the adjacency maps
+// directly would visit neighbors in a different order every run, reordering
+// the floating-point sums in propose and flipping near-tied gain
+// comparisons — run-to-run nondeterminism the pipeline's
+// byte-identical-output guarantee cannot tolerate; sorting fixes the order
+// once per level.
+func newLouvainLevel(ctx context.Context, g *Graph, workers int) (*louvainLevel, error) {
+	lv := &louvainLevel{
+		m2:   2 * g.total,
+		nbrV: make([][]int, g.n),
+		nbrW: make([][]float64, g.n),
+		deg:  make([]float64, g.n),
+	}
+	err := parallel.ForEachRange(ctx, g.n, workers, func(_ context.Context, lo, hi int) error {
+		for u := lo; u < hi; u++ {
+			vs := make([]int, 0, len(g.adj[u]))
+			for v := range g.adj[u] {
+				vs = append(vs, v)
+			}
+			sort.Ints(vs)
+			ws := make([]float64, len(vs))
+			d := 2 * g.self[u]
+			for i, v := range vs {
+				ws[i] = g.adj[u][v]
+				d += ws[i]
+			}
+			lv.nbrV[u], lv.nbrW[u] = vs, ws
+			lv.deg[u] = d
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lv, nil
+}
+
+// proposeScratch is the per-goroutine reusable state of propose:
+// neighWeight accumulates k_{i,in} per candidate community, cands lists the
+// keys so candidates can be scanned in sorted order.
+type proposeScratch struct {
+	neighWeight map[int]float64
+	cands       []int
+}
+
+func newProposeScratch() *proposeScratch {
+	return &proposeScratch{neighWeight: make(map[int]float64), cands: make([]int, 0, 16)}
+}
+
+// propose computes node u's greedy decision against the given community
+// assignment and community-total arrays, without mutating either, and
+// returns the chosen community plus the move's modularity gain in raw gain
+// units (ΔQ·m; zero when u stays). The proposal phase calls it with the
+// frozen pass-start snapshot and the commit pass with the live arrays: the
+// arithmetic — sorted-neighbor accumulation, remove-u adjustment,
+// ascending-candidate scan with strict-improvement ties — is shared bit for
+// bit, which is what makes the assignment independent of the worker count.
+func (lv *louvainLevel) propose(u int, comm []int, tot []float64, sc *proposeScratch) (bestC int, delta float64) {
+	// Hoist the hot fields out of the pointers: this body runs once per
+	// node per pass and the indirections are measurable.
+	nw := sc.neighWeight
+	for _, c := range sc.cands {
+		delete(nw, c)
+	}
+	cands := sc.cands[:0]
+	nbrV, nbrW := lv.nbrV[u], lv.nbrW[u]
+	for i, v := range nbrV {
+		c := comm[v]
+		if _, ok := nw[c]; !ok {
+			cands = append(cands, c)
+		}
+		nw[c] += nbrW[i]
+	}
+	sort.Ints(cands)
+	sc.cands = cands
+	// Gain of joining community c (up to constants):
+	// k_{i,in}(c) − sumTot[c]·k_i/(2m), with u removed from its own
+	// community for the comparison.
+	cu := comm[u]
+	deg, m2 := lv.deg[u], lv.m2
+	stay := nw[cu] - (tot[cu]-deg)*deg/m2
+	bestC = cu
+	bestGain := stay
+	for _, c := range cands {
+		if c == cu {
+			continue
+		}
+		gain := nw[c] - tot[c]*deg/m2
+		// Strict improvement only; candidates ascend, so ties keep the
+		// current community, then the smallest id.
+		if gain > bestGain+1e-12 {
+			bestGain = gain
+			bestC = c
+		}
+	}
+	return bestC, bestGain - stay
+}
+
+// localMoveResult is one level's local-move outcome.
+type localMoveResult struct {
+	comm   []int
+	moved  bool // any node changed community
+	capped bool // MaxPasses fired before the convergence criterion
+	passes int
+}
+
+// localMove runs repeated propose/commit passes until a pass moves no node,
+// the pass's total modularity gain drops below opts.MinDeltaQ, or
+// opts.MaxPasses fires (reported via capped, never silent). The context is
+// checked between passes and inside the proposal fan-out.
+func (g *Graph) localMove(ctx context.Context, opts LouvainOptions) (localMoveResult, error) {
+	n := g.n
+	out := localMoveResult{comm: make([]int, n)}
+	for i := range out.comm {
+		out.comm[i] = i
+	}
+	if 2*g.total == 0 {
+		return out, ctx.Err()
+	}
+	lv, err := newLouvainLevel(ctx, g, opts.Workers)
+	if err != nil {
+		return out, err
+	}
+	comm := out.comm
+	sumTot := append([]float64(nil), lv.deg...) // total degree per community
+
+	// With one effective worker the propose phase buys nothing — every
+	// decision can be taken directly against the live state, which IS the
+	// sequential sweep. The fused path skips the snapshots and validity
+	// scans entirely; its per-node arithmetic is the recompute branch
+	// below, so the parallel path still commits the same bits.
+	seq := parallel.Clamp(opts.Workers, n) == 1
+	// Pass-start snapshots and per-node proposal slots, reused across
+	// passes (parallel path only).
+	var comm0, props []int
+	var tot0, deltas []float64
+	var dirty []bool // community total drifted from the snapshot
+	if !seq {
+		comm0, props = make([]int, n), make([]int, n)
+		tot0, deltas = make([]float64, n), make([]float64, n)
+		dirty = make([]bool, n)
+	}
+	sc := newProposeScratch()
+
+	for pass := 0; ; pass++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if pass == opts.MaxPasses {
+			out.capped = true
+			break
+		}
+		if !seq {
+			copy(comm0, comm)
+			copy(tot0, sumTot)
+			// Proposal phase: every node against the frozen snapshot, one
+			// contiguous index range per worker, results in per-node slots.
+			err := parallel.ForEachRange(ctx, n, opts.Workers, func(_ context.Context, lo, hi int) error {
+				psc := newProposeScratch()
+				for u := lo; u < hi; u++ {
+					props[u], deltas[u] = lv.propose(u, comm0, tot0, psc)
+				}
+				return nil
+			})
+			if err != nil {
+				return out, err
+			}
+			for i := range dirty {
+				dirty[i] = false
+			}
+		}
+		// Commit phase: sequential and index-ordered. A proposal is applied
+		// as-is only when its snapshot inputs are still bitwise-live;
+		// otherwise the node is recomputed against the live state, which is
+		// exactly the sequential sweep's step for that node.
+		passMoved := false
+		passDelta := 0.0
+		for u := 0; u < n; u++ {
+			cu := comm[u]
+			var bestC int
+			var delta float64
+			valid := false
+			if !seq {
+				bestC, delta = props[u], deltas[u]
+				valid = !dirty[cu]
+				if valid {
+					for _, v := range lv.nbrV[u] {
+						if comm[v] != comm0[v] || dirty[comm[v]] {
+							valid = false
+							break
+						}
+					}
+				}
+			}
+			if !valid {
+				bestC, delta = lv.propose(u, comm, sumTot, sc)
+			}
+			// Remove-and-reinsert even when u stays: the sequential sweep
+			// always did, and its (x−d)+d rounding is part of the state
+			// later nodes observe — the bitwise dirty comparison below
+			// catches the rare cases where it does not round-trip.
+			sumTot[cu] -= lv.deg[u]
+			sumTot[bestC] += lv.deg[u]
+			if !seq {
+				dirty[cu] = sumTot[cu] != tot0[cu]
+				dirty[bestC] = sumTot[bestC] != tot0[bestC]
+			}
+			passDelta += delta
+			if bestC != cu {
+				comm[u] = bestC
+				passMoved = true
+				out.moved = true
+			}
+		}
+		out.passes++
+		if !passMoved {
+			break
+		}
+		// Modularity-delta criterion: passDelta is in raw gain units
+		// (ΔQ·m), so compare against MinDeltaQ·m. The accumulation order is
+		// the node order — identical at every worker count.
+		if opts.MinDeltaQ > 0 && passDelta < opts.MinDeltaQ*g.total {
+			break
+		}
+	}
+	return out, nil
+}
+
+// aggregate collapses each community of comm (dense ids) into a single
+// node. Contiguous node ranges emit their edge lists in parallel; the
+// slot-ordered concatenation reproduces the sequential AddEdge order
+// exactly, so the aggregated graph's floating-point accumulators are
+// byte-identical at every worker count.
+func (g *Graph) aggregate(ctx context.Context, comm []int, workers int) (*Graph, error) {
+	nc := 0
+	for _, c := range comm {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	if parallel.Clamp(workers, g.n) == 1 {
+		// Fused sequential path: insert directly, skipping the per-range
+		// edge lists. The emission order is the same either way, so the
+		// graphs match bitwise.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out := New(nc)
+		g.emitAggregated(comm, 0, g.n, out.AddEdge)
+		return out, nil
+	}
+	lists, err := parallel.MapRanges(ctx, g.n, workers, func(_ context.Context, lo, hi int) ([]Edge, error) {
+		var edges []Edge
+		g.emitAggregated(comm, lo, hi, func(u, v int, w float64) {
+			edges = append(edges, Edge{U: u, V: v, W: w})
+		})
+		return edges, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := New(nc)
+	for _, edges := range lists {
+		out.AddEdges(edges)
+	}
+	return out, nil
+}
+
+// emitAggregated walks original nodes [lo, hi) in index order and feeds the
+// aggregated-graph edges for each to sink: the self-loop first, then the
+// kept (v >= u, each undirected edge once) neighbors in sorted order — the
+// one canonical emission order both aggregate paths share, so the
+// aggregated graph's weight sums stay bit-reproducible (see
+// newLouvainLevel) at every worker count.
+func (g *Graph) emitAggregated(comm []int, lo, hi int, sink func(u, v int, w float64)) {
+	vs := make([]int, 0, 16)
+	for u := lo; u < hi; u++ {
+		cu := comm[u]
+		if g.self[u] > 0 {
+			sink(cu, cu, g.self[u])
+		}
+		vs = vs[:0]
+		for v := range g.adj[u] {
+			if v >= u {
+				vs = append(vs, v)
+			}
+		}
+		sort.Ints(vs)
+		for _, v := range vs {
+			sink(cu, comm[v], g.adj[u][v])
+		}
+	}
+}

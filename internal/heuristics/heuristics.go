@@ -167,7 +167,11 @@ func (s *Summary) synRatio() float64 {
 	return float64(s.SYN) / float64(s.TCPPkts)
 }
 
-// flagRatio returns (SYN or RST or FIN) packets over TCP packets.
+// flagRatio returns the dominant single control flag's count — the max of
+// SYN, RST and FIN, not their sum — over TCP packets (0 if no TCP). This is
+// the Table 1 reading of "(SYN|RST|FIN)/pkts": a flood repeats one flag, so
+// the dominant-flag share flags it, while an ordinary conversation's mixed
+// SYN/FIN/RST traffic cannot sum its way over the 0.5 attack threshold.
 func (s *Summary) flagRatio() float64 {
 	if s.TCPPkts == 0 {
 		return 0

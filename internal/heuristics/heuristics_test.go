@@ -149,6 +149,27 @@ func TestUnknown(t *testing.T) {
 	}
 }
 
+// TestFlagRatioDominantFlag pins the Table 1 reading of "(SYN|RST|FIN)/
+// pkts": the ratio is the *dominant* single flag's share, not the union —
+// a mixed SYN/RST/FIN conversation must not sum its way past the 0.5
+// attack threshold.
+func TestFlagRatioDominantFlag(t *testing.T) {
+	s := Summary{TCPPkts: 10, SYN: 3, RST: 4, FIN: 2}
+	if got := s.flagRatio(); got != 0.4 {
+		t.Errorf("flagRatio = %v, want 0.4 (dominant RST share, not the 0.9 union)", got)
+	}
+	// Half SYN, half FIN: a plausible benign handshake/teardown mix. The
+	// union reading would score 1.0 and classify it as an attack; the
+	// dominant-flag reading stays at exactly the 0.5 boundary.
+	s = Summary{TCPPkts: 10, SYN: 5, FIN: 5}
+	if got := s.flagRatio(); got != 0.5 {
+		t.Errorf("flagRatio = %v, want 0.5", got)
+	}
+	if got := (&Summary{}).flagRatio(); got != 0 {
+		t.Errorf("flagRatio on no TCP = %v, want 0", got)
+	}
+}
+
 func TestEmptySummary(t *testing.T) {
 	if cls, cat := NewSummary().Classify(); cls != Unknown || cat != CatUnknown {
 		t.Errorf("empty: %v/%v", cls, cat)

@@ -184,6 +184,40 @@ func Shards[T any](ctx context.Context, workers int, fn func(ctx context.Context
 	})
 }
 
+// ForEachRange splits [0, n) into one contiguous chunk per worker (after
+// Clamp) and runs fn(ctx, lo, hi) once per non-empty chunk, one chunk per
+// goroutine. It is the fan-out for stages whose writes are index-addressed
+// slots: contiguous ranges keep the writes cache-friendly and the chunk
+// boundaries cannot affect the result, so the output is identical at every
+// worker count. workers == 1 runs the single full-range chunk inline: the
+// sequential reference path. Error semantics match ForEach.
+func ForEachRange(ctx context.Context, n, workers int, fn func(ctx context.Context, lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	chunks := Clamp(workers, n)
+	return ForEach(ctx, chunks, chunks, func(ctx context.Context, c int) error {
+		return fn(ctx, c*n/chunks, (c+1)*n/chunks)
+	})
+}
+
+// MapRanges is ForEachRange gathering one result per chunk, in chunk order —
+// the fan-in for stages that emit a list per contiguous range and need the
+// concatenation to reproduce the full [0, n) order. Chunks are never empty:
+// Clamp caps the chunk count at n. Error semantics match ForEach.
+func MapRanges[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, lo, hi int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	chunks := Clamp(workers, n)
+	return Map(ctx, chunks, chunks, func(ctx context.Context, c int) (T, error) {
+		return fn(ctx, c*n/chunks, (c+1)*n/chunks)
+	})
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on at most `workers` goroutines
 // and gathers the results in index order — the fan-in side of a fan-out.
 // Error semantics match ForEach.

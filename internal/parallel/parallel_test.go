@@ -370,3 +370,100 @@ func TestShardsError(t *testing.T) {
 		t.Errorf("err = %v, want the shard failure", err)
 	}
 }
+
+func TestForEachRangeCoversEveryIndexOnce(t *testing.T) {
+	// Chunks must tile [0, n) exactly — every index written once, for worker
+	// counts below, at and above n.
+	for _, n := range []int{1, 7, 64} {
+		for _, workers := range []int{1, 3, n, n + 5} {
+			hits := make([]int32, n)
+			err := ForEachRange(context.Background(), n, workers, func(_ context.Context, lo, hi int) error {
+				if lo >= hi {
+					t.Errorf("n=%d workers=%d: empty chunk [%d,%d)", n, workers, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachRangeZeroItems(t *testing.T) {
+	if err := ForEachRange(context.Background(), 0, 4, func(context.Context, int, int) error {
+		t.Fatal("fn called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachRangeError(t *testing.T) {
+	boom := errors.New("range failed")
+	err := ForEachRange(context.Background(), 100, 4, func(_ context.Context, lo, _ int) error {
+		if lo > 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the range failure", err)
+	}
+}
+
+func TestMapRangesConcatenationPreservesOrder(t *testing.T) {
+	// The chunk-ordered concatenation must reproduce [0, n) for any worker
+	// count — the property the graphx aggregation fold is built on.
+	const n = 53
+	for _, workers := range []int{1, 2, 4, 9} {
+		lists, err := MapRanges(context.Background(), n, workers, func(_ context.Context, lo, hi int) ([]int, error) {
+			out := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, i)
+			}
+			return out, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var flat []int
+		for _, l := range lists {
+			flat = append(flat, l...)
+		}
+		for i, v := range flat {
+			if v != i {
+				t.Fatalf("workers=%d: flat[%d] = %d (concatenation out of order)", workers, i, v)
+			}
+		}
+		if len(flat) != n {
+			t.Fatalf("workers=%d: %d items, want %d", workers, len(flat), n)
+		}
+	}
+}
+
+func TestMapRangesZeroAndCancelled(t *testing.T) {
+	out, err := MapRanges(context.Background(), 0, 4, func(context.Context, int, int) (int, error) {
+		t.Fatal("fn called for empty range")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("empty range: out=%v err=%v", out, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapRanges(ctx, 0, 4, func(context.Context, int, int) (int, error) { return 0, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled empty range err = %v, want context.Canceled", err)
+	}
+	if _, err := MapRanges(ctx, 10, 4, func(context.Context, int, int) (int, error) { return 0, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled err = %v, want context.Canceled", err)
+	}
+}

@@ -231,10 +231,7 @@ func countPairs(owners map[uint64][]int32) map[pair]int {
 // schedule — fixes the result.
 func weigh(ctx context.Context, sets []Set, pairs []pair, counts []int, cfg Config) ([]float64, error) {
 	weights := make([]float64, len(pairs))
-	nchunks := parallel.Clamp(cfg.Workers, len(pairs))
-	err := parallel.ForEach(ctx, nchunks, nchunks, func(_ context.Context, c int) error {
-		lo := c * len(pairs) / nchunks
-		hi := (c + 1) * len(pairs) / nchunks
+	err := parallel.ForEachRange(ctx, len(pairs), cfg.Workers, func(_ context.Context, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			n := counts[i]
 			if n == 0 {

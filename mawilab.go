@@ -146,18 +146,21 @@ type Pipeline struct {
 	// 0.2, the paper's s = 20%).
 	RuleSupport float64
 	// Workers bounds the goroutines used by the parallel pipeline
-	// stages (detector fan-out, the sharded similarity-graph build and
-	// community labeling). 0 or 1 selects the exact sequential reference
-	// path; any value produces byte-identical output — see Parallelism.
+	// stages (detector fan-out, the sharded similarity-graph build,
+	// Louvain community mining and community labeling). 0 or 1 selects
+	// the exact sequential reference path; any value produces
+	// byte-identical output — see Parallelism.
 	Workers int
 }
 
 // Parallelism sets the pipeline's worker count and returns p for chaining.
 // n <= 0 selects runtime.GOMAXPROCS(0); n == 1 is the sequential reference
-// path. The four detectors and their per-configuration runs (and, later,
-// per-community labeling) are dispatched across a bounded worker pool, and
-// their outputs are merged in a fixed (detector, config, slot) order, so
-// the labeling is byte-identical at every worker count.
+// path. The four detectors and their per-configuration runs, the similarity
+// estimator (sharded graph build plus Louvain's partition-parallel local
+// moving) and the per-community labeling are dispatched across a bounded
+// worker pool, and their outputs are merged in a fixed (detector, config,
+// slot) order — or, for Louvain, committed by a sequential index-ordered
+// pass — so the labeling is byte-identical at every worker count.
 func (p *Pipeline) Parallelism(n int) *Pipeline {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)

@@ -3,22 +3,27 @@
 
 GO ?= go
 # Benchmarks the CI smoke job tracks across commits (and the bench gate
-# compares against BENCH_baseline.json). PipelineDay, SimilarityGraph and
-# Louvain carry workers={1,4,N} sub-benches, so each run records the
-# parallel speedup ratios too.
-BENCH_PATTERN ?= PipelineDay|Detectors|Louvain|SimilarityGraph
+# compares against BENCH_baseline.json). PipelineDay, SimilarityGraph,
+# Louvain and GenerateDay carry workers={1,4,N} sub-benches, so each run
+# records the parallel speedup ratios too (GenerateDay also matches the
+# day-level GenerateDays fan-out benches).
+BENCH_PATTERN ?= PipelineDay|Detectors|Louvain|SimilarityGraph|GenerateDay
 # Total-coverage floor for `make cover`, in percent. Set from the measured
-# coverage at the time the gate was introduced (84.9%), rounded down; raise
-# it as coverage grows, never lower it to make a PR pass.
-COVER_FLOOR ?= 84.0
+# coverage at the last raise (85.1% when the golden-fixture and fuzz tests
+# landed), rounded down; raise it as coverage grows, never lower it to make
+# a PR pass.
+COVER_FLOOR ?= 85.0
 # ns/op regression tolerance for `make bench-gate`, as a fraction.
 BENCH_THRESHOLD ?= 0.25
+# Per-target budget for the `make fuzz` smoke (go test allows one -fuzz
+# pattern per invocation, so each fuzz target gets its own run).
+FUZZTIME ?= 10s
 # Iterations for `make bench`. The smoke/artifact run keeps the 1x default;
 # the CI gate job overrides with BENCHTIME=5x so a single scheduler hiccup
 # can't push a benchmark past the threshold.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-gate bench-baseline cover fmt vet check
+.PHONY: all build test race bench bench-gate bench-baseline cover fmt vet fuzz check
 
 all: build test
 
@@ -29,7 +34,11 @@ test:
 	$(GO) test ./...
 
 # The race job covers the root package (pipeline + benches compile in) and
-# every internal package, since the concurrency lives under internal/.
+# every internal package, since the concurrency lives under internal/ —
+# in particular ./internal/mawigen (windowed background generation +
+# injection fan-out), ./internal/parallel (the pool itself),
+# ./internal/graphx (partition-parallel Louvain) and ./internal/simgraph
+# (keyed-shard similarity graph), all matched by ./internal/... below.
 race:
 	$(GO) test -race ./internal/... .
 
@@ -77,4 +86,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: build vet fmt test
+# Short fuzzing smoke over the committed seed corpora plus FUZZTIME of fresh
+# exploration per target: the IPv4 parser invariants and the pcap
+# write→read round trip. A crash writes its reproducer into the package's
+# testdata/fuzz corpus — commit it with the fix.
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseIPv4$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pcap -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME)
+
+check: build vet fmt test fuzz

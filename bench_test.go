@@ -240,16 +240,25 @@ func BenchmarkTable2(b *testing.B) {
 
 // --- Component benches ---------------------------------------------------
 
-// BenchmarkGenerateDay measures synthetic archive-day generation.
+// BenchmarkGenerateDay measures synthetic archive-day generation at several
+// worker-pool sizes: the windowed per-stream background generation and the
+// per-spec anomaly injections fan out inside one day. workers=1 is the
+// sequential reference path and the trace is byte-identical across
+// sub-benches (mawigen's TestGenerateDeterminism), so the ns/op ratio is
+// the pure sharding speedup the CI bench gate tracks.
 func BenchmarkGenerateDay(b *testing.B) {
-	arch := benchArchive()
 	d := time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := arch.Day(d.AddDate(0, 0, i%300))
-		if res.Trace.Len() == 0 {
-			b.Fatal("empty trace")
-		}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			arch := benchArchive()
+			arch.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res := arch.Day(d.AddDate(0, 0, i%300))
+				if res.Trace.Len() == 0 {
+					b.Fatal("empty trace")
+				}
+			}
+		})
 	}
 }
 

@@ -141,6 +141,33 @@ func TestCompareUntrackedNeverFails(t *testing.T) {
 	}
 }
 
+// TestCompareBaselineOnlyWarns pins the missing-from-new behavior down to
+// its contract: a benchmark present in the baseline but absent from the new
+// run is excluded from the tracked count, can never regress the gate, and
+// surfaces as an explicit WARNING line — not silence — so a vanished
+// benchmark is visible in the gate output.
+func TestCompareBaselineOnlyWarns(t *testing.T) {
+	oldRecs := recs("BenchmarkKept-1", 1000.0, "BenchmarkVanished-1", 1000.0)
+	newRecs := recs("BenchmarkKept-1", 1000.0)
+	var sb strings.Builder
+	regressions, tracked := compare(&sb, oldRecs, newRecs, 0.25)
+	if regressions != 0 {
+		t.Errorf("regressions = %d, want 0 — a vanished benchmark must warn, not fail", regressions)
+	}
+	if tracked != 1 {
+		t.Errorf("tracked = %d, want 1 — the vanished benchmark must not count as tracked", tracked)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkVanished") {
+		t.Fatalf("vanished benchmark not mentioned:\n%s", out)
+	}
+	for _, marker := range []string{"WARNING", "baseline only", "not gated"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("report lacks %q marker:\n%s", marker, out)
+		}
+	}
+}
+
 // TestCompareTrackedCount: the tracked count lets the gate detect a vacuous
 // comparison — disjoint name sets (e.g. a misrecorded baseline) track
 // nothing and must not read as a green gate.

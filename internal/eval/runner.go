@@ -95,7 +95,15 @@ func (r *Runner) workers() int {
 // day runs the full pipeline for one archive day with the given intra-day
 // worker bound.
 func (r *Runner) day(ctx context.Context, date time.Time, workers int) (*DayResult, error) {
-	gen := r.Archive.Day(date)
+	// Regenerate the day under the same intra-day worker bound the pipeline
+	// stages use: a direct Day call fans the background windows and anomaly
+	// injections out, while the day-level sharding of Days keeps generation
+	// sequential (the date fan-out already saturates the pool). Generation
+	// is byte-identical at every worker count, so this is purely a
+	// scheduling choice.
+	arch := *r.Archive
+	arch.Workers = workers
+	gen := arch.Day(date)
 	alarms, totals, err := detectors.DetectAllContext(ctx, gen.Trace, r.Detectors, workers)
 	if err != nil {
 		return nil, err

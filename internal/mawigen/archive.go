@@ -21,10 +21,10 @@ type Archive struct {
 	// BaseRate is the background rate in pps before the first link
 	// upgrade.
 	BaseRate float64
-	// Workers bounds the goroutines used per generated day (anomaly
-	// injections run concurrently; see Config.Workers) and the day-level
-	// fan-out of Days. 0 or 1 is sequential; traces are identical at
-	// every setting.
+	// Workers bounds the goroutines used per generated day (background
+	// windows and anomaly injections run concurrently; see Config.Workers)
+	// and the day-level fan-out of Days. 0 or 1 is sequential; traces are
+	// byte-identical at every setting.
 	Workers int
 }
 
@@ -163,8 +163,10 @@ func (a *Archive) Day(date time.Time) *Result {
 // would produce, so multi-day experiments shard freely. Generation cannot
 // fail; the error is ctx's, when cancelled mid-run.
 func (a *Archive) Days(ctx context.Context, dates []time.Time) ([]*Result, error) {
-	// Per-day configs run their injections sequentially: the day-level
-	// fan-out already saturates the pool, and nesting would oversubscribe.
+	// Per-day configs run their background windows and injections
+	// sequentially: the day-level fan-out already saturates the pool, and
+	// nesting would oversubscribe. Harmless for the output either way —
+	// generation is byte-identical at every worker count.
 	day := *a
 	day.Workers = 1
 	workers := a.Workers

@@ -129,7 +129,10 @@ type Spec struct {
 
 // Config parameterizes one generated trace.
 type Config struct {
-	// Seed drives all randomness; equal configs generate equal traces.
+	// Seed drives all randomness. Every RNG stream of a generation run —
+	// one per background window, one per anomaly injection — is derived
+	// deterministically from (Seed, stream index), so equal configs
+	// generate byte-identical traces regardless of Workers.
 	Seed int64
 	// Duration is the trace length in seconds (the archive's 15-minute
 	// traces are scaled down; default 60).
@@ -145,11 +148,22 @@ type Config struct {
 	Date time.Time
 	// Name overrides the trace name (defaults to the date).
 	Name string
-	// Workers bounds the goroutines used to inject anomalies (each
-	// injection already has its own seeded RNG, so they are independent).
-	// 0 or 1 injects sequentially; every value generates an identical
-	// trace because injections land in spec order before the stable
-	// timestamp sort.
+	// Windows is the number of fixed time windows the background
+	// generation splits Duration into; 0 or negative selects
+	// DefaultWindows. Each window draws its sessions from a private RNG
+	// stream derived from (Seed, window index), so windows generate
+	// independently — concurrently under Workers — and the emitted trace
+	// is a pure function of the config: byte-identical at every worker
+	// count. Changing Windows changes the streams, and therefore the
+	// bytes, so it is part of the reproducibility contract along with
+	// Seed (pinned by TestGenerateDeterminism's golden digests).
+	Windows int
+	// Workers bounds the goroutines used for background-window generation
+	// and anomaly injection (each window and each injection has its own
+	// derived RNG stream, so they are independent). 0 or 1 generates
+	// sequentially — the exact reference path; every value generates an
+	// identical trace because window shards concatenate in window order
+	// and injections land in spec order before the stable timestamp sort.
 	Workers int
 }
 
@@ -177,7 +191,9 @@ func Generate(cfg Config) *Result {
 	if cfg.BackgroundRate <= 0 {
 		cfg.BackgroundRate = 400
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Windows <= 0 {
+		cfg.Windows = DefaultWindows
+	}
 	tr := &trace.Trace{Date: cfg.Date, Name: cfg.Name}
 	if tr.Name == "" {
 		if !cfg.Date.IsZero() {
@@ -186,7 +202,7 @@ func Generate(cfg Config) *Result {
 			tr.Name = fmt.Sprintf("seed-%d", cfg.Seed)
 		}
 	}
-	genBackground(rng, tr, cfg)
+	genBackground(tr, cfg)
 	// Each injection draws from its own seeded RNG, so injections are
 	// independent: fan them out across a worker pool, each into a scratch
 	// trace, then splice the packets back in spec order. The pre-sort

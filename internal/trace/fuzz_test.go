@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseIPv4 checks the parser's invariants on arbitrary input: it must
+// never panic, every accepted input must round-trip through String back to
+// the same address, and every accepted input must actually look like four
+// in-range decimal octets (no silent truncation or sign smuggling).
+func FuzzParseIPv4(f *testing.F) {
+	for _, s := range []string{
+		"0.0.0.0", "255.255.255.255", "203.178.148.19", "10.1.0.42",
+		"1.2.3", "1.2.3.4.5", "...", "256.1.1.1", "-1.2.3.4", "+1.2.3.4",
+		" 1.2.3.4", "1.2.3.4 ", "01.2.3.4", "1..3.4", "0x1.2.3.4",
+		"1.2.3.1e2", "", "....", "9999999999.2.3.4",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIPv4(s)
+		if err != nil {
+			return
+		}
+		// Accepted: the value must round-trip through the renderer.
+		out := ip.String()
+		back, err := ParseIPv4(out)
+		if err != nil {
+			t.Fatalf("ParseIPv4(%q) accepted, but its rendering %q is rejected: %v", s, out, err)
+		}
+		if back != ip {
+			t.Fatalf("round trip lost the address: %q -> %v -> %q -> %v", s, ip, out, back)
+		}
+		// Accepted input must be 4 octets, each a valid base-10 uint8.
+		parts := strings.Split(s, ".")
+		if len(parts) != 4 {
+			t.Fatalf("ParseIPv4(%q) accepted %d dot-fields", s, len(parts))
+		}
+		for _, p := range parts {
+			if _, err := strconv.ParseUint(p, 10, 8); err != nil {
+				t.Fatalf("ParseIPv4(%q) accepted octet %q: %v", s, p, err)
+			}
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"time"
@@ -111,6 +114,29 @@ func (t *Trace) ComputeStats() Stats {
 		s.ICMPShare = float64(icmp) / float64(s.Packets)
 	}
 	return s
+}
+
+// Digest returns a hex SHA-256 over every packet field in order: two traces
+// share a digest iff they are byte-identical under the trace model. It is
+// the canonical fingerprint for the repo's golden fixtures and determinism
+// tests — one digest definition, so a future Packet field can never be
+// hashed by one fixture suite and silently ignored by another.
+func (t *Trace) Digest() string {
+	h := sha256.New()
+	var buf [24]byte
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		binary.LittleEndian.PutUint64(buf[0:], uint64(p.TS))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(p.Src))
+		binary.LittleEndian.PutUint32(buf[12:], uint32(p.Dst))
+		binary.LittleEndian.PutUint16(buf[16:], p.SrcPort)
+		binary.LittleEndian.PutUint16(buf[18:], p.DstPort)
+		binary.LittleEndian.PutUint16(buf[20:], p.Len)
+		buf[22] = byte(p.Proto)
+		buf[23] = byte(p.Flags)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // FlowIndex maps every unidirectional flow key in the trace to the indices

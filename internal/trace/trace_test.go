@@ -122,3 +122,43 @@ func TestTraceString(t *testing.T) {
 		t.Error("String should be non-empty")
 	}
 }
+
+// TestDigest pins the canonical trace fingerprint: it must see every packet
+// field and the packet order, and the empty trace must hash to the SHA-256
+// of the empty input (so the digest definition is externally checkable).
+func TestDigest(t *testing.T) {
+	empty := (&Trace{}).Digest()
+	if empty != "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" {
+		t.Errorf("empty trace digest = %s", empty)
+	}
+	base := Packet{TS: 1, Src: 2, Dst: 3, SrcPort: 4, DstPort: 5, Len: 6, Proto: TCP, Flags: SYN}
+	mk := func(ps ...Packet) string { return (&Trace{Packets: ps}).Digest() }
+	ref := mk(base)
+	if mk(base) != ref {
+		t.Error("digest not deterministic")
+	}
+	// Every field must influence the digest.
+	muts := []func(*Packet){
+		func(p *Packet) { p.TS++ },
+		func(p *Packet) { p.Src++ },
+		func(p *Packet) { p.Dst++ },
+		func(p *Packet) { p.SrcPort++ },
+		func(p *Packet) { p.DstPort++ },
+		func(p *Packet) { p.Len++ },
+		func(p *Packet) { p.Proto = UDP },
+		func(p *Packet) { p.Flags |= ACK },
+	}
+	for i, mut := range muts {
+		q := base
+		mut(&q)
+		if mk(q) == ref {
+			t.Errorf("field mutation %d did not change the digest", i)
+		}
+	}
+	// Order matters: a digest is a statement about the exact byte stream.
+	other := base
+	other.TS = 99
+	if mk(base, other) == mk(other, base) {
+		t.Error("packet order did not change the digest")
+	}
+}

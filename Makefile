@@ -4,10 +4,12 @@
 GO ?= go
 # Benchmarks the CI smoke job tracks across commits (and the bench gate
 # compares against BENCH_baseline.json). PipelineDay, SimilarityGraph,
-# Louvain and GenerateDay carry workers={1,4,N} sub-benches, so each run
-# records the parallel speedup ratios too (GenerateDay also matches the
-# day-level GenerateDays fan-out benches).
-BENCH_PATTERN ?= PipelineDay|Detectors|Louvain|SimilarityGraph|GenerateDay
+# Louvain, GenerateDay, TraceIndex and Extract carry workers={1,4,N}
+# sub-benches, so each run records the parallel speedup ratios too
+# (GenerateDay also matches the day-level GenerateDays fan-out benches).
+# TraceIndex covers the shared columnar index build and Extract the
+# posting-list alarm extraction — the hot paths the index refactor opened.
+BENCH_PATTERN ?= PipelineDay|Detectors|Louvain|SimilarityGraph|GenerateDay|TraceIndex|Extract
 # Total-coverage floor for `make cover`, in percent. Set from the measured
 # coverage at the last raise (85.1% when the golden-fixture and fuzz tests
 # landed), rounded down; raise it as coverage grows, never lower it to make

@@ -21,6 +21,7 @@ import (
 	"mawilab/internal/graphx"
 	"mawilab/internal/heuristics"
 	"mawilab/internal/mawigen"
+	"mawilab/internal/parallel"
 	"mawilab/internal/simgraph"
 	"mawilab/internal/stats"
 	"mawilab/internal/trace"
@@ -53,12 +54,13 @@ func BenchmarkTable1(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ix := l.Result.Index()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		attacks := 0
 		for _, rep := range l.Reports {
 			c := &l.Result.Communities[rep.Community]
-			cls, _ := heuristics.ClassifyPackets(day.Trace, c.Traffic.Packets)
+			cls, _ := heuristics.ClassifyPackets(ix, c.Traffic.Packets)
 			if cls == heuristics.Attack {
 				attacks++
 			}
@@ -300,14 +302,23 @@ func benchTrace(b *testing.B) *trace.Trace {
 	return benchArchive().Day(time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC)).Trace
 }
 
-// BenchmarkDetectors times each detector's optimal configuration.
+// benchIndex builds the shared columnar index of the bench trace, as the
+// pipeline does once per day.
+func benchIndex(b *testing.B) *trace.Index {
+	b.Helper()
+	return trace.NewIndex(benchTrace(b))
+}
+
+// BenchmarkDetectors times each detector's optimal configuration over the
+// shared trace index (built once, outside the timed loop, as in the
+// pipeline).
 func BenchmarkDetectors(b *testing.B) {
-	tr := benchTrace(b)
+	ix := benchIndex(b)
 	for _, d := range suite.Standard() {
 		d := d
 		b.Run(d.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := d.Detect(tr, 0); err != nil {
+				if _, err := d.Detect(ix, 0); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -318,28 +329,28 @@ func BenchmarkDetectors(b *testing.B) {
 // BenchmarkEstimate times the similarity estimator on a full ensemble
 // output.
 func BenchmarkEstimate(b *testing.B) {
-	tr := benchTrace(b)
-	alarms, _, err := detectAllForBench(tr)
+	ix := benchIndex(b)
+	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := core.DefaultEstimatorConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Estimate(tr, alarms, cfg); err != nil {
+		if _, err := core.EstimateContext(context.Background(), ix, alarms, cfg, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func detectAllForBench(tr *trace.Trace) ([]core.Alarm, map[string]int, error) {
+func detectAllForBench(ix *trace.Index) ([]core.Alarm, map[string]int, error) {
 	dets := suite.Standard()
 	var alarms []core.Alarm
 	totals := map[string]int{}
 	for _, d := range dets {
 		totals[d.Name()] = d.NumConfigs()
 		for c := 0; c < d.NumConfigs(); c++ {
-			out, err := d.Detect(tr, c)
+			out, err := d.Detect(ix, c)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -347,6 +358,60 @@ func detectAllForBench(tr *trace.Trace) ([]core.Alarm, map[string]int, error) {
 		}
 	}
 	return alarms, totals, nil
+}
+
+// BenchmarkTraceIndex measures the shared columnar index build — columns,
+// canonical flow table with packet runs, posting lists and time buckets —
+// at several worker-pool sizes. workers=1 is the sequential reference path
+// and the index is bitwise-identical across sub-benches (trace's
+// TestIndexParallelismDeterminism), so the ns/op ratio is the pure sharding
+// speedup the CI bench gate tracks.
+func BenchmarkTraceIndex(b *testing.B) {
+	tr := benchTrace(b)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix, err := trace.BuildIndex(context.Background(), tr, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ix.Len() != tr.Len() {
+					b.Fatal("bad index")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtract measures per-alarm traffic extraction through the
+// index's posting lists — the path that replaced the O(alarms × flows)
+// full-table scan — fanning the ensemble's alarms out across several
+// worker-pool sizes, exactly as core.EstimateContext does.
+func BenchmarkExtract(b *testing.B) {
+	ix := benchIndex(b)
+	alarms, _, err := detectAllForBench(ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		b.Fatal("no alarms to extract")
+	}
+	ext := core.NewExtractor(ix, trace.GranUniFlow)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := parallel.ForEach(context.Background(), len(alarms), workers, func(_ context.Context, ai int) error {
+					if ts := ext.Extract(&alarms[ai]); ts == nil {
+						return fmt.Errorf("alarm %d: nil traffic set", ai)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSimilarityGraph times the sharded similarity-graph build
@@ -357,12 +422,12 @@ func detectAllForBench(tr *trace.Trace) ([]core.Alarm, map[string]int, error) {
 // Workers), so the ns/op ratio is the pure sharding speedup the CI bench
 // gate tracks.
 func BenchmarkSimilarityGraph(b *testing.B) {
-	tr := benchTrace(b)
-	alarms, _, err := detectAllForBench(tr)
+	ix := benchIndex(b)
+	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
 		b.Fatal(err)
 	}
-	ext := core.NewExtractor(tr, trace.GranUniFlow)
+	ext := core.NewExtractor(ix, trace.GranUniFlow)
 	sets := make([]simgraph.Set, len(alarms))
 	for i := range alarms {
 		sets[i] = ext.Extract(&alarms[i]).IDs
@@ -385,12 +450,12 @@ func BenchmarkSimilarityGraph(b *testing.B) {
 
 // BenchmarkSCANN times the SCANN classification alone.
 func BenchmarkSCANN(b *testing.B) {
-	tr := benchTrace(b)
-	alarms, _, err := detectAllForBench(tr)
+	ix := benchIndex(b)
+	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Estimate(tr, alarms, core.DefaultEstimatorConfig())
+	res, err := core.EstimateContext(context.Background(), ix, alarms, core.DefaultEstimatorConfig(), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -450,14 +515,10 @@ func BenchmarkLouvain(b *testing.B) {
 
 // BenchmarkApriori times rule mining over a realistic community.
 func BenchmarkApriori(b *testing.B) {
-	tr := benchTrace(b)
-	idx := tr.FlowIndex()
-	txs := make([]apriori.Transaction, 0, len(idx))
-	for k := range idx {
-		txs = append(txs, apriori.FromFlow(k))
-		if len(txs) == 2000 {
-			break
-		}
+	ix := benchIndex(b)
+	txs := make([]apriori.Transaction, 0, ix.Flows())
+	for fi := 0; fi < ix.Flows() && len(txs) < 2000; fi++ {
+		txs = append(txs, apriori.FromFlow(ix.Flow(fi)))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -490,8 +551,8 @@ func BenchmarkPipelineDay(b *testing.B) {
 // paper retains Simpson because containment across granularities must score
 // 1. The single-community count is reported per measure.
 func BenchmarkAblationSimilarity(b *testing.B) {
-	tr := benchTrace(b)
-	alarms, _, err := detectAllForBench(tr)
+	ix := benchIndex(b)
+	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -502,7 +563,7 @@ func BenchmarkAblationSimilarity(b *testing.B) {
 			cfg.Measure = m
 			var singles float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Estimate(tr, alarms, cfg)
+				res, err := core.EstimateContext(context.Background(), ix, alarms, cfg, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -517,8 +578,8 @@ func BenchmarkAblationSimilarity(b *testing.B) {
 // components; components merge everything reachable, losing small dense
 // groups (community count reported).
 func BenchmarkAblationCommunities(b *testing.B) {
-	tr := benchTrace(b)
-	alarms, _, err := detectAllForBench(tr)
+	ix := benchIndex(b)
+	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -529,7 +590,7 @@ func BenchmarkAblationCommunities(b *testing.B) {
 			cfg.Algo = algo
 			var n float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Estimate(tr, alarms, cfg)
+				res, err := core.EstimateContext(context.Background(), ix, alarms, cfg, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -543,8 +604,8 @@ func BenchmarkAblationCommunities(b *testing.B) {
 // BenchmarkAblationGranularity compares the three traffic granularities
 // (paper Fig 3: flows relate more alarms than packets).
 func BenchmarkAblationGranularity(b *testing.B) {
-	tr := benchTrace(b)
-	alarms, _, err := detectAllForBench(tr)
+	ix := benchIndex(b)
+	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -555,7 +616,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 			cfg.Granularity = g
 			var singles float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Estimate(tr, alarms, cfg)
+				res, err := core.EstimateContext(context.Background(), ix, alarms, cfg, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -570,12 +631,12 @@ func BenchmarkAblationGranularity(b *testing.B) {
 // boundary of §4.2.3/§5 and reports how many rejected communities fall in
 // the Suspicious band at each setting.
 func BenchmarkAblationThreshold(b *testing.B) {
-	tr := benchTrace(b)
-	alarms, totals, err := detectAllForBench(tr)
+	ix := benchIndex(b)
+	alarms, totals, err := detectAllForBench(ix)
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Estimate(tr, alarms, core.DefaultEstimatorConfig())
+	res, err := core.EstimateContext(context.Background(), ix, alarms, core.DefaultEstimatorConfig(), 1)
 	if err != nil {
 		b.Fatal(err)
 	}

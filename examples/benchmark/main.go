@@ -78,7 +78,8 @@ func main() {
 	// paper proposes emerging detectors be scored against MAWILab. The
 	// candidate alarms join the graph; any community that mixes candidate
 	// alarms with reference-anomalous traffic is a hit.
-	ext := core.NewExtractor(tr, trace.GranUniFlow)
+	// Reuse the index the pipeline already built — the build-once rule.
+	ext := core.NewExtractor(labeling.Result.Index(), trace.GranUniFlow)
 	candSets := make([]*core.TrafficSet, len(candidate))
 	for i := range candidate {
 		candSets[i] = ext.Extract(&candidate[i])

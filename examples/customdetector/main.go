@@ -38,25 +38,26 @@ type entropyDetector struct {
 func (d *entropyDetector) Name() string    { return "entropy" }
 func (d *entropyDetector) NumConfigs() int { return len(d.thresholds) }
 
-func (d *entropyDetector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+func (d *entropyDetector) Detect(ix *trace.Index, config int) ([]core.Alarm, error) {
 	if err := detectors.CheckConfig(d, config); err != nil {
 		return nil, err
 	}
-	bins := int(math.Ceil(tr.Duration() / d.timeBin))
-	if bins < 4 || tr.Len() == 0 {
+	bins := int(math.Ceil(ix.Duration() / d.timeBin))
+	if bins < 4 || ix.Len() == 0 {
 		return nil, nil
 	}
 	hists := make([]*stats.Histogram, bins)
 	for i := range hists {
 		hists[i] = stats.NewHistogram()
 	}
-	for i := range tr.Packets {
-		p := &tr.Packets[i]
-		b := int(p.Seconds() / d.timeBin)
+	// Custom detectors read the shared columnar index, like the standard
+	// ensemble: the pipeline builds it once and fans it out.
+	for i := 0; i < ix.Len(); i++ {
+		b := int(ix.Seconds[i] / d.timeBin)
 		if b >= bins {
 			b = bins - 1
 		}
-		hists[b].Add(uint64(p.Src), 1)
+		hists[b].Add(uint64(ix.Src[i]), 1)
 	}
 	entropy := make([]float64, bins)
 	for i, h := range hists {

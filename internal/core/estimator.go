@@ -112,25 +112,33 @@ func (r *Result) Config() EstimatorConfig { return r.cfg }
 // Extractor exposes the traffic extractor used, for labeling stages.
 func (r *Result) Extractor() *Extractor { return r.extractor }
 
+// Index exposes the shared trace index the estimate resolved against, so
+// downstream stages (labeling, heuristics) reuse it instead of rebuilding.
+func (r *Result) Index() *trace.Index { return r.extractor.Index() }
+
 // Estimate runs the similarity estimator (§2.1) over the alarms reported on
 // tr: extract each alarm's traffic, weight alarm pairs by traffic
-// similarity, and cluster the resulting graph into communities.
+// similarity, and cluster the resulting graph into communities. It builds a
+// fresh trace.Index; callers already holding the shared index should use
+// EstimateContext.
 func Estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, error) {
-	return EstimateContext(context.Background(), tr, alarms, cfg, 1)
+	return EstimateContext(context.Background(), trace.NewIndex(tr), alarms, cfg, 1)
 }
 
-// EstimateContext is Estimate with cancellation and a bounded worker pool.
-// The per-alarm traffic extraction, the similarity-graph build (sharded in
-// internal/simgraph), the Louvain community mining (partition-parallel
-// local-move proposals with a sequential index-ordered commit, see
-// graphx.LouvainContext) and the per-community traffic unions all fan out
-// across up to `workers` goroutines (<= 1 runs inline). The result is
-// identical at every worker count.
-func EstimateContext(ctx context.Context, tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig, workers int) (*Result, error) {
+// EstimateContext is Estimate with cancellation and a bounded worker pool,
+// resolving all traffic against the shared trace.Index (the same index the
+// detector fan-out consumed — built once per trace). The per-alarm traffic
+// extraction, the similarity-graph build (sharded in internal/simgraph),
+// the Louvain community mining (partition-parallel local-move proposals
+// with a sequential index-ordered commit, see graphx.LouvainContext) and
+// the per-community traffic unions all fan out across up to `workers`
+// goroutines (<= 1 runs inline). The result is identical at every worker
+// count.
+func EstimateContext(ctx context.Context, ix *trace.Index, alarms []Alarm, cfg EstimatorConfig, workers int) (*Result, error) {
 	if cfg.MinSimilarity < 0 || cfg.MinSimilarity > 1 {
 		return nil, fmt.Errorf("core: MinSimilarity %f out of [0,1]", cfg.MinSimilarity)
 	}
-	ext := NewExtractor(tr, cfg.Granularity)
+	ext := NewExtractor(ix, cfg.Granularity)
 	sets := make([]*TrafficSet, len(alarms))
 	ids := make([]simgraph.Set, len(alarms))
 	if err := parallel.ForEach(ctx, len(alarms), workers, func(_ context.Context, i int) error {

@@ -13,8 +13,8 @@ type TrafficSet struct {
 	// IDs identify the traffic units: packet indices (GranPacket), directed
 	// flow hashes (GranUniFlow) or canonical flow hashes (GranBiFlow).
 	IDs map[uint64]struct{}
-	// FlowRefs are indices into the extractor's flow table for every
-	// matched unidirectional flow, sorted ascending.
+	// FlowRefs are indices into the shared flow table for every matched
+	// unidirectional flow, sorted ascending.
 	FlowRefs []int
 	// PacketIdx are the matched packet indices (populated only at
 	// GranPacket), sorted ascending.
@@ -24,101 +24,68 @@ type TrafficSet struct {
 // Size returns the number of traffic units in the set.
 func (ts *TrafficSet) Size() int { return len(ts.IDs) }
 
-// Extractor resolves alarms to TrafficSets against one trace. Building it
-// indexes the trace's flows once; extraction is then a scan over flows per
-// alarm filter. This is the "traffic extractor / oracle" of §2.1.1.
+// Extractor resolves alarms to TrafficSets against one trace through its
+// shared trace.Index: the index's canonical flow table replaces the
+// per-extractor flow map rebuild, and its posting lists prefilter each
+// alarm filter to the flows that can match, replacing the old
+// O(alarms × flows) full-table scan. This is the "traffic extractor /
+// oracle" of §2.1.1.
 type Extractor struct {
-	tr   *trace.Trace
+	ix   *trace.Index
 	gran trace.Granularity
-	keys []trace.FlowKey // flow table
-	pkts [][]int         // packets per flow, aligned with keys
 }
 
-// NewExtractor indexes tr for extraction at granularity g.
-func NewExtractor(tr *trace.Trace, g trace.Granularity) *Extractor {
-	idx := tr.FlowIndex()
-	keys := make([]trace.FlowKey, 0, len(idx))
-	for k := range idx {
-		keys = append(keys, k)
-	}
-	// Deterministic flow order: sort by directed hash then fields.
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		if a.Dst != b.Dst {
-			return a.Dst < b.Dst
-		}
-		if a.SrcPort != b.SrcPort {
-			return a.SrcPort < b.SrcPort
-		}
-		if a.DstPort != b.DstPort {
-			return a.DstPort < b.DstPort
-		}
-		return a.Proto < b.Proto
-	})
-	pkts := make([][]int, len(keys))
-	for i, k := range keys {
-		pkts[i] = idx[k]
-	}
-	return &Extractor{tr: tr, gran: g, keys: keys, pkts: pkts}
+// NewExtractor returns an extractor over the shared index at granularity g.
+// Construction is free — every flow structure lives in the index.
+func NewExtractor(ix *trace.Index, g trace.Granularity) *Extractor {
+	return &Extractor{ix: ix, gran: g}
 }
 
 // Granularity returns the traffic granularity of the extractor.
 func (e *Extractor) Granularity() trace.Granularity { return e.gran }
 
+// Index returns the shared trace index the extractor resolves against.
+func (e *Extractor) Index() *trace.Index { return e.ix }
+
 // Flows returns the number of distinct unidirectional flows indexed.
-func (e *Extractor) Flows() int { return len(e.keys) }
+func (e *Extractor) Flows() int { return e.ix.Flows() }
 
 // FlowKey returns the flow key at table index i.
-func (e *Extractor) FlowKey(i int) trace.FlowKey { return e.keys[i] }
+func (e *Extractor) FlowKey(i int) trace.FlowKey { return e.ix.Flow(i) }
 
-// FlowPackets returns the packet indices of flow table entry i.
-func (e *Extractor) FlowPackets(i int) []int { return e.pkts[i] }
+// FlowPackets returns the packet indices of flow table entry i, ascending.
+// The slice aliases the index and must not be mutated.
+func (e *Extractor) FlowPackets(i int) []int32 { return e.ix.FlowPackets(i) }
 
-// Extract resolves alarm a to its TrafficSet.
-func (e *Extractor) Extract(a *Alarm) *TrafficSet {
+// Extract resolves alarm a to its TrafficSet, prefiltering each filter
+// through the index's posting lists.
+func (e *Extractor) Extract(a *Alarm) *TrafficSet { return e.extract(a, true) }
+
+// extractScan is the reference path: every filter scans the whole flow
+// table. It exists to pin the posting-list prefilter's equivalence
+// (TestExtractIndexedMatchesScan) and has no production callers.
+func (e *Extractor) extractScan(a *Alarm) *TrafficSet { return e.extract(a, false) }
+
+// extract resolves the alarm, visiting for each filter either its posting
+// list candidates (ascending flow ids, a superset of the matching flows) or
+// the full flow table. Both paths visit matching flows in the same
+// ascending order, so the output is identical.
+func (e *Extractor) extract(a *Alarm, usePostings bool) *TrafficSet {
 	ts := &TrafficSet{IDs: make(map[uint64]struct{})}
 	flowSeen := make(map[int]struct{})
 	pktSeen := make(map[int]struct{})
 	for _, f := range a.Filters {
-		for fi, k := range e.keys {
-			if !f.MatchFlow(k) {
-				continue
+		candidates, pruned := []int32(nil), false
+		if usePostings {
+			candidates, pruned = e.ix.CandidateFlows(f)
+		}
+		if pruned {
+			for _, fi := range candidates {
+				e.matchFlow(f, int(fi), ts, flowSeen, pktSeen)
 			}
-			switch e.gran {
-			case trace.GranPacket:
-				for _, pi := range e.pkts[fi] {
-					p := &e.tr.Packets[pi]
-					if f.TimeBounded() {
-						sec := p.Seconds()
-						if sec < f.From || sec >= f.To {
-							continue
-						}
-					}
-					if _, ok := pktSeen[pi]; ok {
-						continue
-					}
-					pktSeen[pi] = struct{}{}
-					ts.IDs[uint64(pi)] = struct{}{}
-					if _, ok := flowSeen[fi]; !ok {
-						flowSeen[fi] = struct{}{}
-					}
-				}
-			default:
-				if f.TimeBounded() && !e.anyPacketIn(fi, f.From, f.To) {
-					continue
-				}
-				if _, ok := flowSeen[fi]; ok {
-					continue
-				}
-				flowSeen[fi] = struct{}{}
-				if e.gran == trace.GranUniFlow {
-					ts.IDs[k.DirectedHash()] = struct{}{}
-				} else {
-					ts.IDs[k.Canonical().FastHash()] = struct{}{}
-				}
+		} else {
+			for fi := 0; fi < e.ix.Flows(); fi++ {
+				e.matchFlow(f, fi, ts, flowSeen, pktSeen)
 			}
 		}
 	}
@@ -129,10 +96,51 @@ func (e *Extractor) Extract(a *Alarm) *TrafficSet {
 	return ts
 }
 
+// matchFlow folds flow fi into the traffic set if it satisfies filter f.
+func (e *Extractor) matchFlow(f trace.Filter, fi int, ts *TrafficSet, flowSeen, pktSeen map[int]struct{}) {
+	k := e.ix.Flow(fi)
+	if !f.MatchFlow(k) {
+		return
+	}
+	switch e.gran {
+	case trace.GranPacket:
+		for _, pi32 := range e.ix.FlowPackets(fi) {
+			pi := int(pi32)
+			if f.TimeBounded() {
+				sec := e.ix.Seconds[pi]
+				if sec < f.From || sec >= f.To {
+					continue
+				}
+			}
+			if _, ok := pktSeen[pi]; ok {
+				continue
+			}
+			pktSeen[pi] = struct{}{}
+			ts.IDs[uint64(pi)] = struct{}{}
+			if _, ok := flowSeen[fi]; !ok {
+				flowSeen[fi] = struct{}{}
+			}
+		}
+	default:
+		if f.TimeBounded() && !e.anyPacketIn(fi, f.From, f.To) {
+			return
+		}
+		if _, ok := flowSeen[fi]; ok {
+			return
+		}
+		flowSeen[fi] = struct{}{}
+		if e.gran == trace.GranUniFlow {
+			ts.IDs[k.DirectedHash()] = struct{}{}
+		} else {
+			ts.IDs[k.Canonical().FastHash()] = struct{}{}
+		}
+	}
+}
+
 // anyPacketIn reports whether flow fi has a packet in [from,to) seconds.
 func (e *Extractor) anyPacketIn(fi int, from, to float64) bool {
-	for _, pi := range e.pkts[fi] {
-		sec := e.tr.Packets[pi].Seconds()
+	for _, pi := range e.ix.FlowPackets(fi) {
+		sec := e.ix.Seconds[pi]
 		if sec >= from && sec < to {
 			return true
 		}
@@ -169,7 +177,7 @@ func (e *Extractor) Union(sets []*TrafficSet) CommunityTraffic {
 	flowRefs := sortedKeys(flowSeen)
 	ct := CommunityTraffic{Flows: make([]trace.FlowKey, len(flowRefs))}
 	for i, fi := range flowRefs {
-		ct.Flows[i] = e.keys[fi]
+		ct.Flows[i] = e.ix.Flow(fi)
 	}
 	if e.gran == trace.GranPacket {
 		pktSeen := make(map[int]struct{})
@@ -181,7 +189,9 @@ func (e *Extractor) Union(sets []*TrafficSet) CommunityTraffic {
 		ct.Packets = sortedKeys(pktSeen)
 	} else {
 		for _, fi := range flowRefs {
-			ct.Packets = append(ct.Packets, e.pkts[fi]...)
+			for _, pi := range e.ix.FlowPackets(fi) {
+				ct.Packets = append(ct.Packets, int(pi))
+			}
 		}
 		sort.Ints(ct.Packets)
 	}

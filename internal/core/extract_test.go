@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"mawilab/internal/trace"
@@ -30,7 +32,7 @@ func fig1Trace() (*trace.Trace, []Alarm) {
 
 func TestExtractPacketGranularityFig1(t *testing.T) {
 	tr, alarms := fig1Trace()
-	ext := NewExtractor(tr, trace.GranPacket)
+	ext := NewExtractor(trace.NewIndex(tr), trace.GranPacket)
 	s1 := ext.Extract(&alarms[0])
 	s2 := ext.Extract(&alarms[1])
 	s3 := ext.Extract(&alarms[2])
@@ -50,7 +52,7 @@ func TestExtractFlowGranularityFig1(t *testing.T) {
 	// At flow granularity all three alarms designate the same single flow.
 	tr, alarms := fig1Trace()
 	for _, g := range []trace.Granularity{trace.GranUniFlow, trace.GranBiFlow} {
-		ext := NewExtractor(tr, g)
+		ext := NewExtractor(trace.NewIndex(tr), g)
 		s1 := ext.Extract(&alarms[0])
 		s2 := ext.Extract(&alarms[1])
 		s3 := ext.Extract(&alarms[2])
@@ -83,11 +85,11 @@ func TestBiflowMergesDirections(t *testing.T) {
 	fwd := Alarm{Detector: "A", Filters: []trace.Filter{trace.NewFilter().WithSrc(src)}}
 	rev := Alarm{Detector: "B", Filters: []trace.Filter{trace.NewFilter().WithSrc(dst)}}
 
-	uni := NewExtractor(tr, trace.GranUniFlow)
+	uni := NewExtractor(trace.NewIndex(tr), trace.GranUniFlow)
 	if n := intersect(uni.Extract(&fwd), uni.Extract(&rev)); n != 0 {
 		t.Errorf("uniflow intersect = %d, want 0 (directions distinct)", n)
 	}
-	bi := NewExtractor(tr, trace.GranBiFlow)
+	bi := NewExtractor(trace.NewIndex(tr), trace.GranBiFlow)
 	if n := intersect(bi.Extract(&fwd), bi.Extract(&rev)); n != 1 {
 		t.Errorf("biflow intersect = %d, want 1 (directions merge)", n)
 	}
@@ -100,7 +102,7 @@ func TestExtractMultipleFiltersDedupe(t *testing.T) {
 		trace.NewFilter().WithSrc(src),
 		trace.NewFilter().WithDstPort(80),
 	}}
-	ext := NewExtractor(tr, trace.GranUniFlow)
+	ext := NewExtractor(trace.NewIndex(tr), trace.GranUniFlow)
 	ts := ext.Extract(&a)
 	if ts.Size() != 1 {
 		t.Errorf("overlapping filters should dedupe: size = %d", ts.Size())
@@ -115,7 +117,7 @@ func TestExtractNoMatch(t *testing.T) {
 	a := Alarm{Detector: "A", Filters: []trace.Filter{
 		trace.NewFilter().WithSrc(trace.MakeIPv4(99, 99, 99, 99)),
 	}}
-	ext := NewExtractor(tr, trace.GranUniFlow)
+	ext := NewExtractor(trace.NewIndex(tr), trace.GranUniFlow)
 	if ts := ext.Extract(&a); ts.Size() != 0 {
 		t.Errorf("no-match alarm size = %d", ts.Size())
 	}
@@ -128,7 +130,7 @@ func TestExtractTimeBoundExcludesFlow(t *testing.T) {
 	a := Alarm{Detector: "A", Filters: []trace.Filter{
 		trace.NewFilter().WithSrc(src).WithInterval(100, 200),
 	}}
-	ext := NewExtractor(tr, trace.GranUniFlow)
+	ext := NewExtractor(trace.NewIndex(tr), trace.GranUniFlow)
 	if ts := ext.Extract(&a); ts.Size() != 0 {
 		t.Errorf("flow with no packet in window matched: %d", ts.Size())
 	}
@@ -136,7 +138,7 @@ func TestExtractTimeBoundExcludesFlow(t *testing.T) {
 
 func TestUnionCommunityTraffic(t *testing.T) {
 	tr, alarms := fig1Trace()
-	ext := NewExtractor(tr, trace.GranPacket)
+	ext := NewExtractor(trace.NewIndex(tr), trace.GranPacket)
 	s2 := ext.Extract(&alarms[1])
 	s3 := ext.Extract(&alarms[2])
 	ct := ext.Union([]*TrafficSet{s2, s3})
@@ -147,7 +149,7 @@ func TestUnionCommunityTraffic(t *testing.T) {
 		t.Errorf("union flows = %d, want 1", len(ct.Flows))
 	}
 	// Flow granularity: packets are the whole flow.
-	extF := NewExtractor(tr, trace.GranUniFlow)
+	extF := NewExtractor(trace.NewIndex(tr), trace.GranUniFlow)
 	f2 := extF.Extract(&alarms[1])
 	ctF := extF.Union([]*TrafficSet{f2})
 	if len(ctF.Packets) != 10 {
@@ -157,7 +159,7 @@ func TestUnionCommunityTraffic(t *testing.T) {
 
 func TestExtractorAccessors(t *testing.T) {
 	tr, _ := fig1Trace()
-	ext := NewExtractor(tr, trace.GranBiFlow)
+	ext := NewExtractor(trace.NewIndex(tr), trace.GranBiFlow)
 	if ext.Granularity() != trace.GranBiFlow {
 		t.Error("granularity accessor wrong")
 	}
@@ -206,5 +208,83 @@ func TestConfigUniverse(t *testing.T) {
 	}
 	if per["a"] != 1 || per["b"] != 2 {
 		t.Errorf("perDetector = %v", per)
+	}
+}
+
+// randomFilterTrace builds a seeded trace whose flows reuse a small pool of
+// hosts and ports, so randomized filters hit flows through every posting
+// list (and sometimes none).
+func randomFilterTrace(seed int64, n int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Name: "rand-extract"}
+	for i := 0; i < n; i++ {
+		tr.Append(trace.Packet{
+			TS:      int64(rng.Intn(20 * 1e6)),
+			Src:     trace.MakeIPv4(10, 0, 0, byte(rng.Intn(12))),
+			Dst:     trace.MakeIPv4(10, 0, 1, byte(rng.Intn(12))),
+			SrcPort: uint16(1024 + rng.Intn(16)),
+			DstPort: uint16([]int{80, 443, 445, 5554, 9898}[rng.Intn(5)]),
+			Proto:   []trace.Proto{trace.TCP, trace.UDP}[rng.Intn(2)],
+			Len:     60,
+		})
+	}
+	tr.Sort()
+	return tr
+}
+
+// randomFilter draws a filter constraining a random subset of fields over a
+// random (sometimes empty, sometimes unbounded) interval.
+func randomFilter(rng *rand.Rand, ix *trace.Index) trace.Filter {
+	k := ix.Flow(rng.Intn(ix.Flows()))
+	f := trace.NewFilter()
+	if rng.Intn(2) == 0 {
+		f = f.WithSrc(k.Src)
+	}
+	if rng.Intn(2) == 0 {
+		f = f.WithDst(k.Dst)
+	}
+	if rng.Intn(3) == 0 {
+		f = f.WithSrcPort(k.SrcPort)
+	}
+	if rng.Intn(3) == 0 {
+		f = f.WithDstPort(k.DstPort)
+	}
+	if rng.Intn(4) == 0 {
+		f = f.WithProto(k.Proto)
+	}
+	if rng.Intn(2) == 0 {
+		from := rng.Float64() * 20
+		f = f.WithInterval(from, from+rng.Float64()*8)
+	}
+	return f
+}
+
+// TestExtractIndexedMatchesScan pins the posting-list prefilter to the old
+// full-table reference scan: over randomized multi-filter alarms at all
+// three granularities, both paths must produce identical traffic sets.
+func TestExtractIndexedMatchesScan(t *testing.T) {
+	tr := randomFilterTrace(23, 3000)
+	ix := trace.NewIndex(tr)
+	rng := rand.New(rand.NewSource(42))
+	for _, g := range []trace.Granularity{trace.GranPacket, trace.GranUniFlow, trace.GranBiFlow} {
+		ext := NewExtractor(ix, g)
+		for i := 0; i < 150; i++ {
+			a := Alarm{Detector: "rand", Filters: []trace.Filter{randomFilter(rng, ix)}}
+			for rng.Intn(3) == 0 { // sometimes multi-filter alarms
+				a.Filters = append(a.Filters, randomFilter(rng, ix))
+			}
+			indexed := ext.Extract(&a)
+			scanned := ext.extractScan(&a)
+			if !reflect.DeepEqual(indexed.IDs, scanned.IDs) {
+				t.Fatalf("%v alarm %d: IDs differ (%d indexed vs %d scanned)",
+					g, i, len(indexed.IDs), len(scanned.IDs))
+			}
+			if !reflect.DeepEqual(indexed.FlowRefs, scanned.FlowRefs) {
+				t.Fatalf("%v alarm %d: FlowRefs differ", g, i)
+			}
+			if !reflect.DeepEqual(indexed.PacketIdx, scanned.PacketIdx) {
+				t.Fatalf("%v alarm %d: PacketIdx differ", g, i)
+			}
+		}
 	}
 }

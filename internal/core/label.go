@@ -102,9 +102,11 @@ func (cr *CommunityReport) String() string {
 // BuildReports labels every community of r given combiner decisions:
 // association rules are mined from the community traffic (modified Apriori
 // with percentage support, §4.1.1), the rule metrics computed, and the
-// Table 1 heuristics applied for the evaluation figures.
-func BuildReports(tr *trace.Trace, r *Result, decisions []Decision, opts ReportOptions) ([]CommunityReport, error) {
-	return BuildReportsContext(context.Background(), tr, r, decisions, opts, 1)
+// Table 1 heuristics applied for the evaluation figures. The traffic is
+// resolved through r's shared trace.Index — the same index the detectors
+// and the estimator consumed.
+func BuildReports(r *Result, decisions []Decision, opts ReportOptions) ([]CommunityReport, error) {
+	return BuildReportsContext(context.Background(), r, decisions, opts, 1)
 }
 
 // BuildReportsContext is BuildReports with cancellation and a bounded worker
@@ -112,17 +114,18 @@ func BuildReports(tr *trace.Trace, r *Result, decisions []Decision, opts ReportO
 // cost), so they fan out across up to `workers` goroutines (<= 1 runs
 // inline). Each report is written into its community's slot, so the output
 // is identical to the sequential path regardless of worker count.
-func BuildReportsContext(ctx context.Context, tr *trace.Trace, r *Result, decisions []Decision, opts ReportOptions, workers int) ([]CommunityReport, error) {
+func BuildReportsContext(ctx context.Context, r *Result, decisions []Decision, opts ReportOptions, workers int) ([]CommunityReport, error) {
 	if len(decisions) != len(r.Communities) {
 		return nil, fmt.Errorf("core: decisions (%d) != communities (%d)", len(decisions), len(r.Communities))
 	}
 	if opts.RuleSupport <= 0 || opts.RuleSupport > 1 {
 		return nil, fmt.Errorf("core: rule support %f out of (0,1]", opts.RuleSupport)
 	}
+	ix := r.Index()
 	reports := make([]CommunityReport, len(r.Communities))
 	err := parallel.ForEach(ctx, len(r.Communities), workers, func(_ context.Context, ci int) error {
 		c := &r.Communities[ci]
-		txs := communityTransactions(tr, r, c)
+		txs := communityTransactions(ix, r, c)
 		mined := apriori.Mine(txs, opts.RuleSupport)
 		rules := apriori.Maximal(mined)
 		if opts.MaxRules > 0 && len(rules) > opts.MaxRules {
@@ -132,7 +135,7 @@ func BuildReportsContext(ctx context.Context, tr *trace.Trace, r *Result, decisi
 		// (§5 assigns labels "to the traffic described by the community
 		// rules"): a community mixing a 445-scan with incidental
 		// neighbour flows is still an SMB attack per its dominant rule.
-		cls, cat := heuristics.ClassifyPackets(tr, ruleCoveredPackets(tr, c.Traffic.Packets, rules))
+		cls, cat := heuristics.ClassifyPackets(ix, ruleCoveredPackets(ix, c.Traffic.Packets, rules))
 		reports[ci] = CommunityReport{
 			Community:   ci,
 			Label:       AssignLabel(decisions[ci]),
@@ -156,13 +159,13 @@ func BuildReportsContext(ctx context.Context, tr *trace.Trace, r *Result, decisi
 // ruleCoveredPackets returns the subset of community packets matched by at
 // least one mined rule; with no rules (or no coverage) it falls back to the
 // whole community so the heuristics always see some traffic.
-func ruleCoveredPackets(tr *trace.Trace, packets []int, rules []apriori.Rule) []int {
+func ruleCoveredPackets(ix *trace.Index, packets []int, rules []apriori.Rule) []int {
 	if len(rules) == 0 {
 		return packets
 	}
 	var out []int
 	for _, pi := range packets {
-		tx := apriori.FromPacket(&tr.Packets[pi])
+		tx := apriori.FromPacket(ix.PacketAt(pi))
 		for _, rule := range rules {
 			if rule.Matches(tx) {
 				out = append(out, pi)
@@ -179,11 +182,11 @@ func ruleCoveredPackets(tr *trace.Trace, packets []int, rules []apriori.Rule) []
 // communityTransactions itemizes the community traffic: one transaction per
 // flow at flow granularities, one per packet at packet granularity — "the
 // packets or flows corresponding to each community" (§4.1.1).
-func communityTransactions(tr *trace.Trace, r *Result, c *Community) []apriori.Transaction {
+func communityTransactions(ix *trace.Index, r *Result, c *Community) []apriori.Transaction {
 	if r.cfg.Granularity == trace.GranPacket {
 		txs := make([]apriori.Transaction, len(c.Traffic.Packets))
 		for i, pi := range c.Traffic.Packets {
-			txs[i] = apriori.FromPacket(&tr.Packets[pi])
+			txs[i] = apriori.FromPacket(ix.PacketAt(pi))
 		}
 		return txs
 	}

@@ -46,7 +46,7 @@ func TestBuildReports(t *testing.T) {
 	for i := range decisions {
 		decisions[i] = Decision{Accepted: true, RelDistance: 1}
 	}
-	reports, err := BuildReports(tr, res, decisions, DefaultReportOptions())
+	reports, err := BuildReports(res, decisions, DefaultReportOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestBuildReportsPingHeuristic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reports, err := BuildReports(tr, res, []Decision{{Accepted: false, RelDistance: 2}}, DefaultReportOptions())
+	reports, err := BuildReports(res, []Decision{{Accepted: false, RelDistance: 2}}, DefaultReportOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,12 +117,12 @@ func TestBuildReportsErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BuildReports(tr, res, nil, DefaultReportOptions()); err == nil {
+	if _, err := BuildReports(res, nil, DefaultReportOptions()); err == nil {
 		t.Error("mismatched decisions accepted")
 	}
 	bad := DefaultReportOptions()
 	bad.RuleSupport = 0
-	if _, err := BuildReports(tr, res, []Decision{{}}, bad); err == nil {
+	if _, err := BuildReports(res, []Decision{{}}, bad); err == nil {
 		t.Error("zero rule support accepted")
 	}
 }
@@ -135,7 +135,7 @@ func TestBuildReportsMaxRules(t *testing.T) {
 	}
 	opts := DefaultReportOptions()
 	opts.MaxRules = 1
-	reports, err := BuildReports(tr, res, []Decision{{}}, opts)
+	reports, err := BuildReports(res, []Decision{{}}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

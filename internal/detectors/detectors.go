@@ -5,9 +5,12 @@
 //
 // Each detector runs unsupervised over one trace under one of its parameter
 // sets ("configurations": optimal, sensitive, conservative) and reports
-// core.Alarms. The similarity estimator is what makes their heterogeneous
-// granularities comparable, so implementations are free to report hosts,
-// flows, packets or feature tuples.
+// core.Alarms. Detectors consume the trace through its shared columnar
+// trace.Index — built once per trace and fanned out to every (detector,
+// configuration) run — rather than rescanning raw packets. The similarity
+// estimator is what makes their heterogeneous granularities comparable, so
+// implementations are free to report hosts, flows, packets or feature
+// tuples.
 package detectors
 
 import (
@@ -56,29 +59,33 @@ type Detector interface {
 	Name() string
 	// NumConfigs returns how many parameter sets the detector offers.
 	NumConfigs() int
-	// Detect analyzes the trace under parameter set config and returns
-	// the alarms raised. Implementations must be deterministic for a
-	// given (trace, config), and safe for concurrent Detect calls on the
-	// same receiver: the pipeline fans the twelve (detector, config)
-	// runs out across a worker pool.
-	Detect(tr *trace.Trace, config int) ([]core.Alarm, error)
+	// Detect analyzes the indexed trace under parameter set config and
+	// returns the alarms raised. The index is shared across every
+	// (detector, config) run of a trace, so implementations must treat it
+	// as read-only. They must be deterministic for a given (index, config),
+	// and safe for concurrent Detect calls on the same receiver: the
+	// pipeline fans the twelve (detector, config) runs out across a worker
+	// pool.
+	Detect(ix *trace.Index, config int) ([]core.Alarm, error)
 }
 
-// DetectAll runs every configuration of every detector sequentially and
-// concatenates the alarms — the "12 outputs of all the configurations" fed
-// to the similarity estimator in the paper's experiments. It also returns
-// the per-detector configuration totals needed for confidence scores.
+// DetectAll runs every configuration of every detector sequentially over a
+// freshly built index and concatenates the alarms — the "12 outputs of all
+// the configurations" fed to the similarity estimator in the paper's
+// experiments. It also returns the per-detector configuration totals needed
+// for confidence scores. Callers that already hold a trace.Index should use
+// DetectAllContext to avoid rebuilding it.
 func DetectAll(tr *trace.Trace, dets []Detector) ([]core.Alarm, map[string]int, error) {
-	return DetectAllContext(context.Background(), tr, dets, 1)
+	return DetectAllContext(context.Background(), trace.NewIndex(tr), dets, 1)
 }
 
 // DetectAllContext is DetectAll with cancellation and a bounded worker pool:
 // the (detector, config) runs are independent, so they fan out across up to
-// `workers` goroutines (<= 1 runs inline). Each run's alarms land in a slot
-// keyed by (detector index, config index) and are concatenated in that
-// order, so the output is byte-identical to the sequential path regardless
-// of worker count or scheduling.
-func DetectAllContext(ctx context.Context, tr *trace.Trace, dets []Detector, workers int) ([]core.Alarm, map[string]int, error) {
+// `workers` goroutines (<= 1 runs inline), all sharing the one trace.Index.
+// Each run's alarms land in a slot keyed by (detector index, config index)
+// and are concatenated in that order, so the output is byte-identical to the
+// sequential path regardless of worker count or scheduling.
+func DetectAllContext(ctx context.Context, ix *trace.Index, dets []Detector, workers int) ([]core.Alarm, map[string]int, error) {
 	type job struct {
 		d   Detector
 		cfg int
@@ -92,7 +99,7 @@ func DetectAllContext(ctx context.Context, tr *trace.Trace, dets []Detector, wor
 		}
 	}
 	slots, err := parallel.Map(ctx, len(jobs), workers, func(_ context.Context, i int) ([]core.Alarm, error) {
-		out, err := jobs[i].d.Detect(tr, jobs[i].cfg)
+		out, err := jobs[i].d.Detect(ix, jobs[i].cfg)
 		if err != nil {
 			return nil, fmt.Errorf("detectors: %s/%d: %w", jobs[i].d.Name(), jobs[i].cfg, err)
 		}

@@ -17,7 +17,7 @@ type fakeDetector struct {
 
 func (f *fakeDetector) Name() string    { return f.name }
 func (f *fakeDetector) NumConfigs() int { return f.configs }
-func (f *fakeDetector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+func (f *fakeDetector) Detect(ix *trace.Index, config int) ([]core.Alarm, error) {
 	if f.fail {
 		return nil, errors.New("boom")
 	}

@@ -61,23 +61,24 @@ func (d *Detector) Name() string { return "gamma" }
 func (d *Detector) NumConfigs() int { return int(detectors.NumTunings) }
 
 // Detect implements detectors.Detector.
-func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+func (d *Detector) Detect(ix *trace.Index, config int) ([]core.Alarm, error) {
 	if err := detectors.CheckConfig(d, config); err != nil {
 		return nil, err
 	}
-	if tr.Len() == 0 || tr.Duration() < 4*d.Resolutions[len(d.Resolutions)-1] {
+	if ix.Len() == 0 || ix.Duration() < 4*d.Resolutions[len(d.Resolutions)-1] {
 		return nil, nil
 	}
 	threshold := d.Thresholds[config]
 	var alarms []core.Alarm
-	alarms = append(alarms, d.detectDirection(tr, config, threshold, false)...)
-	alarms = append(alarms, d.detectDirection(tr, config, threshold, true)...)
+	alarms = append(alarms, d.detectDirection(ix, config, threshold, false)...)
+	alarms = append(alarms, d.detectDirection(ix, config, threshold, true)...)
 	return alarms, nil
 }
 
 // detectDirection runs the sketch/Gamma analysis hashed on source (dst ==
-// false) or destination addresses.
-func (d *Detector) detectDirection(tr *trace.Trace, config int, threshold float64, dst bool) []core.Alarm {
+// false) or destination addresses, scanning the index's address and
+// timestamp columns.
+func (d *Detector) detectDirection(ix *trace.Index, config int, threshold float64, dst bool) []core.Alarm {
 	seed := d.Seed
 	if dst {
 		seed ^= 0xdeadbeef
@@ -86,19 +87,18 @@ func (d *Detector) detectDirection(tr *trace.Trace, config int, threshold float6
 	group := sketch.NewGroup(sk)
 
 	finest := d.Resolutions[0]
-	cells := int(math.Ceil(tr.Duration()/finest)) + 1
+	cells := int(math.Ceil(ix.Duration()/finest)) + 1
 	counts := make([][]float64, d.Bins)
 	for b := range counts {
 		counts[b] = make([]float64, cells)
 	}
-	for pi := range tr.Packets {
-		p := &tr.Packets[pi]
-		ip := p.Src
-		if dst {
-			ip = p.Dst
-		}
-		b := group.Observe(ip)
-		c := int(p.Seconds() / finest)
+	addrs := ix.Src
+	if dst {
+		addrs = ix.Dst
+	}
+	for pi := 0; pi < ix.Len(); pi++ {
+		b := group.Observe(addrs[pi])
+		c := int(ix.Seconds[pi] / finest)
 		if c >= cells {
 			c = cells - 1
 		}

@@ -21,7 +21,7 @@ func floodTrace(t *testing.T, seed int64) (*mawigen.Result, trace.IPv4, trace.IP
 func TestDetectFindsFloodEndpoints(t *testing.T) {
 	res, attacker, victim := floodTrace(t, 201)
 	d := New(7)
-	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Optimal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestDetectFindsFloodEndpoints(t *testing.T) {
 func TestBothDirectionsAnalyzed(t *testing.T) {
 	res, _, _ := floodTrace(t, 203)
 	d := New(7)
-	alarms, err := d.Detect(res.Trace, int(detectors.Sensitive))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Sensitive))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,8 +67,8 @@ func TestBothDirectionsAnalyzed(t *testing.T) {
 func TestSensitivityOrdering(t *testing.T) {
 	res, _, _ := floodTrace(t, 205)
 	d := New(7)
-	sens, _ := d.Detect(res.Trace, int(detectors.Sensitive))
-	cons, _ := d.Detect(res.Trace, int(detectors.Conservative))
+	sens, _ := d.Detect(trace.NewIndex(res.Trace), int(detectors.Sensitive))
+	cons, _ := d.Detect(trace.NewIndex(res.Trace), int(detectors.Conservative))
 	if len(sens) < len(cons) {
 		t.Errorf("sensitive (%d) < conservative (%d)", len(sens), len(cons))
 	}
@@ -79,7 +79,7 @@ func TestQuietBackground(t *testing.T) {
 	cfg.BackgroundRate = 300
 	res := mawigen.Generate(cfg)
 	d := New(7)
-	alarms, err := d.Detect(res.Trace, int(detectors.Conservative))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Conservative))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,19 +90,19 @@ func TestQuietBackground(t *testing.T) {
 
 func TestShortAndEmptyTraces(t *testing.T) {
 	d := New(7)
-	if alarms, err := d.Detect(&trace.Trace{}, 0); err != nil || len(alarms) != 0 {
+	if alarms, err := d.Detect(trace.NewIndex(&trace.Trace{}), 0); err != nil || len(alarms) != 0 {
 		t.Error("empty trace should be silent")
 	}
 	short := &trace.Trace{}
 	short.Append(trace.Packet{TS: 1e6, Proto: trace.TCP})
-	if alarms, _ := d.Detect(short, 0); len(alarms) != 0 {
+	if alarms, _ := d.Detect(trace.NewIndex(short), 0); len(alarms) != 0 {
 		t.Error("too-short trace should be silent")
 	}
 }
 
 func TestConfigValidationAndIdentity(t *testing.T) {
 	d := New(7)
-	if _, err := d.Detect(&trace.Trace{}, 3); err == nil {
+	if _, err := d.Detect(trace.NewIndex(&trace.Trace{}), 3); err == nil {
 		t.Error("bad config accepted")
 	}
 	if d.Name() != "gamma" || d.NumConfigs() != 3 {
@@ -142,8 +142,8 @@ func TestRobustScale(t *testing.T) {
 func TestDeterministic(t *testing.T) {
 	res, _, _ := floodTrace(t, 209)
 	d := New(7)
-	a, _ := d.Detect(res.Trace, 1)
-	b, _ := d.Detect(res.Trace, 1)
+	a, _ := d.Detect(trace.NewIndex(res.Trace), 1)
+	b, _ := d.Detect(trace.NewIndex(res.Trace), 1)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic")
 	}

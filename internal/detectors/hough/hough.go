@@ -67,18 +67,18 @@ func (d *Detector) Name() string { return "hough" }
 func (d *Detector) NumConfigs() int { return int(detectors.NumTunings) }
 
 // Detect implements detectors.Detector.
-func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+func (d *Detector) Detect(ix *trace.Index, config int) ([]core.Alarm, error) {
 	if err := detectors.CheckConfig(d, config); err != nil {
 		return nil, err
 	}
-	cols := int(math.Ceil(tr.Duration()/d.TimeBin)) + 1
-	if tr.Len() == 0 || cols < 6 {
+	cols := int(math.Ceil(ix.Duration()/d.TimeBin)) + 1
+	if ix.Len() == 0 || cols < 6 {
 		return nil, nil
 	}
 	tn := d.tunings[config]
 	var alarms []core.Alarm
-	alarms = append(alarms, d.detectPlane(tr, config, tn, cols, true)...)
-	alarms = append(alarms, d.detectPlane(tr, config, tn, cols, false)...)
+	alarms = append(alarms, d.detectPlane(ix, config, tn, cols, true)...)
+	alarms = append(alarms, d.detectPlane(ix, config, tn, cols, false)...)
 	return alarms, nil
 }
 
@@ -86,25 +86,26 @@ func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
 type cellKey struct{ x, y int }
 
 // detectPlane runs Hough line detection on one (time, address) plane.
-func (d *Detector) detectPlane(tr *trace.Trace, config int, tn tuning, cols int, dstPlane bool) []core.Alarm {
+func (d *Detector) detectPlane(ix *trace.Index, config int, tn tuning, cols int, dstPlane bool) []core.Alarm {
 	sk := sketch.New(d.Rows, d.Seed^uint64(boolToInt(dstPlane))<<17)
-	// Rasterize: packet counts and dominant flows per cell.
+	// Rasterize: packet counts and dominant flows per cell. Flows are
+	// tracked by the index's flow-table ids — no per-plane FlowKey
+	// hashing; the ids resolve back to keys only for the surviving lines.
 	counts := make(map[cellKey]int)
-	cellFlows := make(map[cellKey]map[trace.FlowKey]int)
-	for pi := range tr.Packets {
-		p := &tr.Packets[pi]
-		ip := p.Src
-		if dstPlane {
-			ip = p.Dst
-		}
-		c := cellKey{x: int(p.Seconds() / d.TimeBin), y: sk.Bin(ip)}
+	cellFlows := make(map[cellKey]map[int32]int)
+	addrs := ix.Src
+	if dstPlane {
+		addrs = ix.Dst
+	}
+	for pi := 0; pi < ix.Len(); pi++ {
+		c := cellKey{x: int(ix.Seconds[pi] / d.TimeBin), y: sk.Bin(addrs[pi])}
 		counts[c]++
 		m := cellFlows[c]
 		if m == nil {
-			m = make(map[trace.FlowKey]int)
+			m = make(map[int32]int)
 			cellFlows[c] = m
 		}
-		m[p.Flow()]++
+		m[ix.FlowIDOf(pi)]++
 	}
 	// Binarize.
 	var on []cellKey
@@ -199,7 +200,8 @@ func (d *Detector) detectPlane(tr *trace.Trace, config int, tn tuning, cols int,
 				continue
 			}
 			claimed[c] = true
-			for k, n := range cellFlows[c] {
+			for fid, n := range cellFlows[c] {
+				k := ix.Flow(int(fid))
 				host := k.Src
 				if dstPlane {
 					host = k.Dst

@@ -22,7 +22,7 @@ func TestDetectFindsScanLine(t *testing.T) {
 	// the scanner's bucket is lit for 25 consecutive seconds.
 	res, scanner := scanTrace(t, 301)
 	d := New(5)
-	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Optimal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestDetectFloodLine(t *testing.T) {
 	res := mawigen.Generate(cfg)
 	victim := *res.Truth[0].Filters[0].Dst
 	d := New(5)
-	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Optimal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestDetectFloodLine(t *testing.T) {
 func TestAlarmsAreFlowAggregates(t *testing.T) {
 	res, _ := scanTrace(t, 305)
 	d := New(5)
-	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Optimal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,8 +92,8 @@ func TestAlarmsAreFlowAggregates(t *testing.T) {
 func TestSensitivityOrdering(t *testing.T) {
 	res, _ := scanTrace(t, 307)
 	d := New(5)
-	sens, _ := d.Detect(res.Trace, int(detectors.Sensitive))
-	cons, _ := d.Detect(res.Trace, int(detectors.Conservative))
+	sens, _ := d.Detect(trace.NewIndex(res.Trace), int(detectors.Sensitive))
+	cons, _ := d.Detect(trace.NewIndex(res.Trace), int(detectors.Conservative))
 	if len(sens) < len(cons) {
 		t.Errorf("sensitive (%d) < conservative (%d)", len(sens), len(cons))
 	}
@@ -104,7 +104,7 @@ func TestQuietBackground(t *testing.T) {
 	cfg.BackgroundRate = 250
 	res := mawigen.Generate(cfg)
 	d := New(5)
-	alarms, err := d.Detect(res.Trace, int(detectors.Conservative))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Conservative))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,10 +115,10 @@ func TestQuietBackground(t *testing.T) {
 
 func TestShortEmptyAndConfig(t *testing.T) {
 	d := New(5)
-	if alarms, err := d.Detect(&trace.Trace{}, 0); err != nil || len(alarms) != 0 {
+	if alarms, err := d.Detect(trace.NewIndex(&trace.Trace{}), 0); err != nil || len(alarms) != 0 {
 		t.Error("empty trace should be silent")
 	}
-	if _, err := d.Detect(&trace.Trace{}, 9); err == nil {
+	if _, err := d.Detect(trace.NewIndex(&trace.Trace{}), 9); err == nil {
 		t.Error("bad config accepted")
 	}
 	if d.Name() != "hough" || d.NumConfigs() != 3 {
@@ -129,8 +129,8 @@ func TestShortEmptyAndConfig(t *testing.T) {
 func TestDeterministic(t *testing.T) {
 	res, _ := scanTrace(t, 311)
 	d := New(5)
-	a, _ := d.Detect(res.Trace, 0)
-	b, _ := d.Detect(res.Trace, 0)
+	a, _ := d.Detect(trace.NewIndex(res.Trace), 0)
+	b, _ := d.Detect(trace.NewIndex(res.Trace), 0)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic count")
 	}

@@ -87,17 +87,17 @@ func (d *Detector) Name() string { return "kl" }
 func (d *Detector) NumConfigs() int { return int(detectors.NumTunings) }
 
 // Detect implements detectors.Detector.
-func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+func (d *Detector) Detect(ix *trace.Index, config int) ([]core.Alarm, error) {
 	if err := detectors.CheckConfig(d, config); err != nil {
 		return nil, err
 	}
-	bins := int(math.Ceil(tr.Duration() / d.TimeBin))
-	if tr.Len() == 0 || bins < 4 {
+	bins := int(math.Ceil(ix.Duration() / d.TimeBin))
+	if ix.Len() == 0 || bins < 4 {
 		return nil, nil
 	}
 	threshold := d.Thresholds[config]
 
-	// Build per-bin histograms for each feature.
+	// Build per-bin histograms for each feature from the index columns.
 	hists := make([][]*stats.Histogram, numFeatures)
 	for f := range hists {
 		hists[f] = make([]*stats.Histogram, bins)
@@ -105,16 +105,15 @@ func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
 			hists[f][b] = stats.NewHistogram()
 		}
 	}
-	for pi := range tr.Packets {
-		p := &tr.Packets[pi]
-		b := int(p.Seconds() / d.TimeBin)
+	for pi := 0; pi < ix.Len(); pi++ {
+		b := int(ix.Seconds[pi] / d.TimeBin)
 		if b >= bins {
 			b = bins - 1
 		}
-		hists[FeatSrcIP][b].Add(bucketIP(p.Src), 1)
-		hists[FeatDstIP][b].Add(bucketIP(p.Dst), 1)
-		hists[FeatSrcPort][b].Add(bucketPort(p.SrcPort), 1)
-		hists[FeatDstPort][b].Add(bucketPort(p.DstPort), 1)
+		hists[FeatSrcIP][b].Add(bucketIP(ix.Src[pi]), 1)
+		hists[FeatDstIP][b].Add(bucketIP(ix.Dst[pi]), 1)
+		hists[FeatSrcPort][b].Add(bucketPort(ix.SrcPort[pi]), 1)
+		hists[FeatDstPort][b].Add(bucketPort(ix.DstPort[pi]), 1)
 	}
 
 	// KL series per feature, then robust thresholding.
@@ -153,10 +152,10 @@ func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
 	for _, b := range binIDs {
 		from := float64(b) * d.TimeBin
 		to := from + d.TimeBin
-		lo, hi := tr.Window(from, to)
+		lo, hi := ix.Window(from, to)
 		txs := make([]apriori.Transaction, 0, hi-lo)
 		for pi := lo; pi < hi; pi++ {
-			txs = append(txs, apriori.FromPacket(&tr.Packets[pi]))
+			txs = append(txs, apriori.FromPacket(ix.PacketAt(pi)))
 		}
 		rules := apriori.Maximal(apriori.Mine(txs, d.RuleSupport))
 		if len(rules) > d.MaxRulesPerBin {

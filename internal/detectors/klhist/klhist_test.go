@@ -22,7 +22,7 @@ func onsetTrace(t *testing.T, seed int64) (*mawigen.Result, trace.IPv4) {
 func TestDetectFindsDistributionChange(t *testing.T) {
 	res, victim := onsetTrace(t, 401)
 	d := New()
-	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Optimal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestDetectFindsDistributionChange(t *testing.T) {
 func TestAlarmsAreAssociationRules(t *testing.T) {
 	res, _ := onsetTrace(t, 403)
 	d := New()
-	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Optimal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,8 +69,8 @@ func TestAlarmsAreAssociationRules(t *testing.T) {
 func TestSensitivityOrdering(t *testing.T) {
 	res, _ := onsetTrace(t, 405)
 	d := New()
-	sens, _ := d.Detect(res.Trace, int(detectors.Sensitive))
-	cons, _ := d.Detect(res.Trace, int(detectors.Conservative))
+	sens, _ := d.Detect(trace.NewIndex(res.Trace), int(detectors.Sensitive))
+	cons, _ := d.Detect(trace.NewIndex(res.Trace), int(detectors.Conservative))
 	if len(sens) < len(cons) {
 		t.Errorf("sensitive (%d) < conservative (%d)", len(sens), len(cons))
 	}
@@ -81,7 +81,7 @@ func TestQuietBackground(t *testing.T) {
 	cfg.BackgroundRate = 250
 	res := mawigen.Generate(cfg)
 	d := New()
-	alarms, err := d.Detect(res.Trace, int(detectors.Conservative))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Conservative))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,15 +92,15 @@ func TestQuietBackground(t *testing.T) {
 
 func TestShortEmptyAndConfig(t *testing.T) {
 	d := New()
-	if alarms, err := d.Detect(&trace.Trace{}, 0); err != nil || len(alarms) != 0 {
+	if alarms, err := d.Detect(trace.NewIndex(&trace.Trace{}), 0); err != nil || len(alarms) != 0 {
 		t.Error("empty trace should be silent")
 	}
 	short := &trace.Trace{}
 	short.Append(trace.Packet{TS: 5e6, Proto: trace.UDP})
-	if alarms, _ := d.Detect(short, 0); len(alarms) != 0 {
+	if alarms, _ := d.Detect(trace.NewIndex(short), 0); len(alarms) != 0 {
 		t.Error("too-short trace should be silent")
 	}
-	if _, err := d.Detect(short, -1); err == nil {
+	if _, err := d.Detect(trace.NewIndex(short), -1); err == nil {
 		t.Error("bad config accepted")
 	}
 	if d.Name() != "kl" || d.NumConfigs() != 3 {
@@ -123,8 +123,8 @@ func TestFeatureNames(t *testing.T) {
 func TestDeterministic(t *testing.T) {
 	res, _ := onsetTrace(t, 409)
 	d := New()
-	a, _ := d.Detect(res.Trace, 1)
-	b, _ := d.Detect(res.Trace, 1)
+	a, _ := d.Detect(trace.NewIndex(res.Trace), 1)
+	b, _ := d.Detect(trace.NewIndex(res.Trace), 1)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic count")
 	}

@@ -75,14 +75,14 @@ func (d *Detector) Name() string { return "pca" }
 func (d *Detector) NumConfigs() int { return int(detectors.NumTunings) }
 
 // Detect implements detectors.Detector.
-func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+func (d *Detector) Detect(ix *trace.Index, config int) ([]core.Alarm, error) {
 	if err := detectors.CheckConfig(d, config); err != nil {
 		return nil, err
 	}
 	tn := d.Tunings[config]
-	dur := tr.Duration()
+	dur := ix.Duration()
 	t := int(math.Ceil(dur / d.TimeBin))
-	if t < 8 || tr.Len() == 0 {
+	if t < 8 || ix.Len() == 0 {
 		return nil, nil // too short for a meaningful subspace
 	}
 
@@ -96,23 +96,23 @@ func (d *Detector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
 	for si := 0; si < d.Sketches; si++ {
 		sk := sketch.New(d.Bins, d.Seed+uint64(si)*0x9e37)
 		x := linalg.NewMatrix(t, d.Bins)
-		for pi := range tr.Packets {
-			p := &tr.Packets[pi]
-			tb := int(p.Seconds() / d.TimeBin)
+		for pi := 0; pi < ix.Len(); pi++ {
+			tb := int(ix.Seconds[pi] / d.TimeBin)
 			if tb >= t {
 				tb = t - 1
 			}
-			x.Set(tb, sk.Bin(p.Src), x.At(tb, sk.Bin(p.Src))+1)
+			sb := sk.Bin(ix.Src[pi])
+			x.Set(tb, sb, x.At(tb, sb)+1)
 		}
 		anomalous := d.subspaceResiduals(x, tn)
 		for _, at := range anomalous {
-			// Recover hosts: rescan the window, count per suspicious bin.
-			lo, hi := tr.Window(float64(at.bin)*d.TimeBin, float64(at.bin+1)*d.TimeBin)
+			// Recover hosts: rescan the window via the index's time
+			// buckets, count per suspicious bin.
+			lo, hi := ix.Window(float64(at.bin)*d.TimeBin, float64(at.bin+1)*d.TimeBin)
 			counts := make(map[trace.IPv4]int)
 			for pi := lo; pi < hi; pi++ {
-				p := &tr.Packets[pi]
-				if sk.Bin(p.Src) == at.sketchBin {
-					counts[p.Src]++
+				if sk.Bin(ix.Src[pi]) == at.sketchBin {
+					counts[ix.Src[pi]]++
 				}
 			}
 			for _, h := range topHosts(counts, 3) {

@@ -37,7 +37,7 @@ func TestDetectFindsVolumeBurst(t *testing.T) {
 	attacker := *res.Truth[0].Filters[0].Src
 
 	d := New(1)
-	alarms, err := d.Detect(res.Trace, int(detectors.Optimal))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Optimal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +57,11 @@ func TestDetectFindsVolumeBurst(t *testing.T) {
 func TestSensitiveReportsMoreThanConservative(t *testing.T) {
 	res, _ := burstTrace(t)
 	d := New(1)
-	sens, err := d.Detect(res.Trace, int(detectors.Sensitive))
+	sens, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Sensitive))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cons, err := d.Detect(res.Trace, int(detectors.Conservative))
+	cons, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Conservative))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestQuietBackgroundFewAlarms(t *testing.T) {
 	cfg.BackgroundRate = 300
 	res := mawigen.Generate(cfg)
 	d := New(1)
-	alarms, err := d.Detect(res.Trace, int(detectors.Conservative))
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), int(detectors.Conservative))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,8 +87,8 @@ func TestQuietBackgroundFewAlarms(t *testing.T) {
 func TestDeterministic(t *testing.T) {
 	res, _ := burstTrace(t)
 	d := New(1)
-	a, _ := d.Detect(res.Trace, 0)
-	b, _ := d.Detect(res.Trace, 0)
+	a, _ := d.Detect(trace.NewIndex(res.Trace), 0)
+	b, _ := d.Detect(trace.NewIndex(res.Trace), 0)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic alarm count")
 	}
@@ -102,10 +102,10 @@ func TestDeterministic(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	res, _ := burstTrace(t)
 	d := New(1)
-	if _, err := d.Detect(res.Trace, -1); err == nil {
+	if _, err := d.Detect(trace.NewIndex(res.Trace), -1); err == nil {
 		t.Error("negative config accepted")
 	}
-	if _, err := d.Detect(res.Trace, 99); err == nil {
+	if _, err := d.Detect(trace.NewIndex(res.Trace), 99); err == nil {
 		t.Error("out-of-range config accepted")
 	}
 	if d.Name() != "pca" || d.NumConfigs() != 3 {
@@ -117,12 +117,12 @@ func TestShortTraceNoAlarms(t *testing.T) {
 	tr := &trace.Trace{}
 	tr.Append(trace.Packet{TS: 0, Proto: trace.TCP, Len: 40})
 	d := New(1)
-	alarms, err := d.Detect(tr, 0)
+	alarms, err := d.Detect(trace.NewIndex(tr), 0)
 	if err != nil || len(alarms) != 0 {
 		t.Errorf("short trace: alarms=%d err=%v", len(alarms), err)
 	}
 	empty := &trace.Trace{}
-	if alarms, _ := d.Detect(empty, 0); len(alarms) != 0 {
+	if alarms, _ := d.Detect(trace.NewIndex(empty), 0); len(alarms) != 0 {
 		t.Error("empty trace should have no alarms")
 	}
 }
@@ -130,7 +130,7 @@ func TestShortTraceNoAlarms(t *testing.T) {
 func TestAlarmsCarryIdentity(t *testing.T) {
 	res, _ := burstTrace(t)
 	d := New(1)
-	alarms, err := d.Detect(res.Trace, 2)
+	alarms, err := d.Detect(trace.NewIndex(res.Trace), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,7 +91,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal("SCANN accepted nothing on a two-attack trace")
 	}
 
-	reports, err := core.BuildReports(gen.Trace, res, dec, core.DefaultReportOptions())
+	reports, err := core.BuildReports(res, dec, core.DefaultReportOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

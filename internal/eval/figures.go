@@ -50,16 +50,22 @@ func Fig3(ctx context.Context, r *Runner, dates []time.Time) (*Fig3Result, error
 		cfg.Granularity = g
 		partials, err := parallel.Map(ctx, len(dates), r.workers(), func(ctx context.Context, di int) (dayPartial, error) {
 			gen := r.Archive.Day(dates[di])
-			alarms, _, err := detectors.DetectAllContext(ctx, gen.Trace, r.Detectors, 1)
+			// One shared index per (granularity, day) pipeline, same
+			// build-once-share-everywhere rule as Runner.day.
+			ix, err := trace.BuildIndex(ctx, gen.Trace, 1)
 			if err != nil {
 				return dayPartial{}, err
 			}
-			res, err := core.Estimate(gen.Trace, alarms, cfg)
+			alarms, _, err := detectors.DetectAllContext(ctx, ix, r.Detectors, 1)
+			if err != nil {
+				return dayPartial{}, err
+			}
+			res, err := core.EstimateContext(ctx, ix, alarms, cfg, 1)
 			if err != nil {
 				return dayPartial{}, err
 			}
 			decisions := make([]core.Decision, len(res.Communities))
-			reports, err := core.BuildReportsContext(ctx, gen.Trace, res, decisions, r.ReportOpts, 1)
+			reports, err := core.BuildReportsContext(ctx, res, decisions, r.ReportOpts, 1)
 			if err != nil {
 				return dayPartial{}, err
 			}

@@ -14,6 +14,7 @@ import (
 	"mawilab/internal/heuristics"
 	"mawilab/internal/mawigen"
 	"mawilab/internal/parallel"
+	"mawilab/internal/trace"
 )
 
 // Runner wires the archive, the detector ensemble, the similarity estimator
@@ -104,11 +105,18 @@ func (r *Runner) day(ctx context.Context, date time.Time, workers int) (*DayResu
 	arch := *r.Archive
 	arch.Workers = workers
 	gen := arch.Day(date)
-	alarms, totals, err := detectors.DetectAllContext(ctx, gen.Trace, r.Detectors, workers)
+	// One shared columnar index per day: the detector fan-out, the
+	// estimator's traffic extraction and the labeling heuristics all
+	// resolve against it — no per-stage flow-table rebuilds.
+	ix, err := trace.BuildIndex(ctx, gen.Trace, workers)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.EstimateContext(ctx, gen.Trace, alarms, r.Estimator, workers)
+	alarms, totals, err := detectors.DetectAllContext(ctx, ix, r.Detectors, workers)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.EstimateContext(ctx, ix, alarms, r.Estimator, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +147,7 @@ func (r *Runner) day(ctx context.Context, date time.Time, workers int) (*DayResu
 	if lastDecisions == nil {
 		lastDecisions = make([]core.Decision, len(res.Communities))
 	}
-	reports, err := core.BuildReportsContext(ctx, gen.Trace, res, lastDecisions, r.ReportOpts, workers)
+	reports, err := core.BuildReportsContext(ctx, res, lastDecisions, r.ReportOpts, workers)
 	if err != nil {
 		return nil, err
 	}

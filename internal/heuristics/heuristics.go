@@ -107,37 +107,46 @@ func NewSummary() *Summary {
 	return &Summary{PortPkts: make(map[portProto]int)}
 }
 
-// Observe folds one packet into the summary.
+// Observe folds one packet into the summary — the incremental path for
+// callers holding packet records; Summarize reads the shared trace.Index
+// columns instead.
 func (s *Summary) Observe(p *trace.Packet) {
+	s.observe(p.Proto, p.Flags, p.SrcPort, p.DstPort, p.Len)
+}
+
+// observe folds one packet's Table 1 features into the summary.
+func (s *Summary) observe(proto trace.Proto, flags trace.TCPFlags, srcPort, dstPort, length uint16) {
 	s.Packets++
-	s.TotalSize += int64(p.Len)
-	switch p.Proto {
+	s.TotalSize += int64(length)
+	switch proto {
 	case trace.ICMP:
 		s.ICMP++
 	case trace.TCP:
 		s.TCPPkts++
-		if p.Flags.Has(trace.SYN) {
+		if flags.Has(trace.SYN) {
 			s.SYN++
 		}
-		if p.Flags.Has(trace.RST) {
+		if flags.Has(trace.RST) {
 			s.RST++
 		}
-		if p.Flags.Has(trace.FIN) {
+		if flags.Has(trace.FIN) {
 			s.FIN++
 		}
-		s.PortPkts[portProto{p.SrcPort, trace.TCP}]++
-		s.PortPkts[portProto{p.DstPort, trace.TCP}]++
+		s.PortPkts[portProto{srcPort, trace.TCP}]++
+		s.PortPkts[portProto{dstPort, trace.TCP}]++
 	case trace.UDP:
-		s.PortPkts[portProto{p.SrcPort, trace.UDP}]++
-		s.PortPkts[portProto{p.DstPort, trace.UDP}]++
+		s.PortPkts[portProto{srcPort, trace.UDP}]++
+		s.PortPkts[portProto{dstPort, trace.UDP}]++
 	}
 }
 
-// Summarize builds a Summary from a set of packet indices of a trace.
-func Summarize(tr *trace.Trace, packetIdx []int) *Summary {
+// Summarize builds a Summary from a set of packet indices, reading the
+// shared index's protocol/flag/port/length columns — Table 1 never needs
+// the full packet rows.
+func Summarize(ix *trace.Index, packetIdx []int) *Summary {
 	s := NewSummary()
 	for _, i := range packetIdx {
-		s.Observe(&tr.Packets[i])
+		s.observe(ix.Proto[i], ix.Flags[i], ix.SrcPort[i], ix.DstPort[i], ix.PktLen[i])
 	}
 	return s
 }
@@ -250,6 +259,6 @@ func (s *Summary) Classify() (Class, Category) {
 }
 
 // ClassifyPackets is a convenience wrapper: summarize then classify.
-func ClassifyPackets(tr *trace.Trace, packetIdx []int) (Class, Category) {
-	return Summarize(tr, packetIdx).Classify()
+func ClassifyPackets(ix *trace.Index, packetIdx []int) (Class, Category) {
+	return Summarize(ix, packetIdx).Classify()
 }

@@ -191,11 +191,12 @@ func TestSummarizeFromTrace(t *testing.T) {
 		tr.Append(p)
 	}
 	idx := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
-	cls, _ := ClassifyPackets(tr, idx)
+	ix := trace.NewIndex(tr)
+	cls, _ := ClassifyPackets(ix, idx)
 	if cls != Special {
 		t.Errorf("ClassifyPackets = %v, want Special", cls)
 	}
-	s := Summarize(tr, idx[:3])
+	s := Summarize(ix, idx[:3])
 	if s.Packets != 3 {
 		t.Errorf("partial summarize packets = %d", s.Packets)
 	}

@@ -125,7 +125,7 @@ func TestInjectedAttacksMatchHeuristics(t *testing.T) {
 				idx = append(idx, i)
 			}
 		}
-		cls, cat := heuristics.ClassifyPackets(res.Trace, idx)
+		cls, cat := heuristics.ClassifyPackets(trace.NewIndex(res.Trace), idx)
 		if cls != heuristics.Attack {
 			t.Errorf("%v: classified %v/%v, want Attack", c.kind, cls, cat)
 			continue
@@ -148,7 +148,7 @@ func TestFlashCrowdIsNotAttack(t *testing.T) {
 			idx = append(idx, i)
 		}
 	}
-	cls, cat := heuristics.ClassifyPackets(res.Trace, idx)
+	cls, cat := heuristics.ClassifyPackets(trace.NewIndex(res.Trace), idx)
 	if cls != heuristics.Special || cat != heuristics.CatHTTP {
 		t.Errorf("flash crowd classified %v/%v, want Special/Http", cls, cat)
 	}

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"context"
+	"sort"
+
+	"mawilab/internal/parallel"
+)
+
+// bucketTS is the fixed time-bucket width of the index, in microseconds.
+// One-second buckets keep the offset table small (one entry per trace
+// second) while narrowing every Window search to at most one bucket.
+const bucketTS = int64(1e6)
+
+// Index is an immutable, once-per-trace columnar view of a sorted Trace:
+// structure-of-arrays packet columns, a canonical sorted flow table with
+// packet-index runs, per-field posting lists (source IP, destination IP and
+// destination port → flow ids) and fixed one-second time-bucket offsets.
+//
+// The pipeline builds the index once per trace and shares it across every
+// consumer — the detector fan-out, the similarity estimator's traffic
+// extractor, community labeling and the Table 1 heuristics — replacing the
+// per-consumer FlowIndex rebuilds and full-trace rescans. The column slices
+// are exported for hot loops; neither they nor the trace may be mutated
+// after Build.
+//
+// Determinism contract: the index is bitwise-identical at every worker
+// count (flow order, runs, postings, buckets), same as the rest of the
+// pipeline — range merges happen in slot order and the flow table is sorted
+// canonically, so no structure depends on goroutine scheduling.
+type Index struct {
+	tr *Trace
+
+	// Packet columns, aligned with the trace's packet order.
+	TS      []int64
+	Seconds []float64
+	Src     []IPv4
+	Dst     []IPv4
+	SrcPort []uint16
+	DstPort []uint16
+	PktLen  []uint16
+	Proto   []Proto
+	Flags   []TCPFlags
+
+	// Canonical flow table: flows sorted by (Src, Dst, SrcPort, DstPort,
+	// Proto); flowPkts holds each flow's packet indices (ascending) as one
+	// contiguous run delimited by flowOff; flowOf maps a packet index back
+	// to its flow id.
+	flows    []FlowKey
+	flowOff  []int32
+	flowPkts []int32
+	flowOf   []int32
+
+	// Posting lists: header-field value → ascending flow ids.
+	bySrc     map[IPv4][]int32
+	byDst     map[IPv4][]int32
+	byDstPort map[uint16][]int32
+
+	// bucketLo[b] is the first packet index with TS >= b*bucketTS; the
+	// final entry is the packet count. Requires non-negative, sorted
+	// timestamps (the trace model).
+	bucketLo []int32
+}
+
+// NewIndex builds the index sequentially — the reference path. It is the
+// convenience for tests and one-shot tools; pipelines use BuildIndex to
+// share the worker pool.
+func NewIndex(tr *Trace) *Index {
+	ix, err := BuildIndex(context.Background(), tr, 1)
+	if err != nil {
+		// Unreachable: with a background context the sequential build has
+		// no failure mode.
+		panic("trace: sequential index build failed: " + err.Error())
+	}
+	return ix
+}
+
+// BuildIndex builds the index with up to `workers` goroutines on the shared
+// worker pool (<= 1 runs inline). The trace must be sorted (Trace.Sort) with
+// non-negative timestamps. The result is bitwise-identical at every worker
+// count.
+func BuildIndex(ctx context.Context, tr *Trace, workers int) (*Index, error) {
+	n := tr.Len()
+	ix := &Index{
+		tr:      tr,
+		TS:      make([]int64, n),
+		Seconds: make([]float64, n),
+		Src:     make([]IPv4, n),
+		Dst:     make([]IPv4, n),
+		SrcPort: make([]uint16, n),
+		DstPort: make([]uint16, n),
+		PktLen:  make([]uint16, n),
+		Proto:   make([]Proto, n),
+		Flags:   make([]TCPFlags, n),
+		flowOf:  make([]int32, n),
+	}
+
+	// Columns: index-addressed writes over contiguous ranges.
+	if err := parallel.ForEachRange(ctx, n, workers, func(_ context.Context, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			p := &tr.Packets[i]
+			ix.TS[i] = p.TS
+			ix.Seconds[i] = p.Seconds()
+			ix.Src[i] = p.Src
+			ix.Dst[i] = p.Dst
+			ix.SrcPort[i] = p.SrcPort
+			ix.DstPort[i] = p.DstPort
+			ix.PktLen[i] = p.Len
+			ix.Proto[i] = p.Proto
+			ix.Flags[i] = p.Flags
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Flow runs: per-range private maps, merged in range order so every
+	// flow's packet list stays ascending regardless of chunk boundaries.
+	partials, err := parallel.MapRanges(ctx, n, workers, func(_ context.Context, lo, hi int) (map[FlowKey][]int32, error) {
+		m := make(map[FlowKey][]int32)
+		for i := lo; i < hi; i++ {
+			k := tr.Packets[i].Flow()
+			m[k] = append(m[k], int32(i))
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := make(map[FlowKey][]int32)
+	for _, m := range partials {
+		for k, idxs := range m {
+			merged[k] = append(merged[k], idxs...)
+		}
+	}
+
+	// Canonical flow order: sort by fields, the one flow order every
+	// consumer shares.
+	ix.flows = make([]FlowKey, 0, len(merged))
+	for k := range merged {
+		ix.flows = append(ix.flows, k)
+	}
+	sort.Slice(ix.flows, func(i, j int) bool { return flowLess(ix.flows[i], ix.flows[j]) })
+
+	ix.flowOff = make([]int32, len(ix.flows)+1)
+	ix.flowPkts = make([]int32, 0, n)
+	ix.bySrc = make(map[IPv4][]int32)
+	ix.byDst = make(map[IPv4][]int32)
+	ix.byDstPort = make(map[uint16][]int32)
+	for fi, k := range ix.flows {
+		run := merged[k]
+		ix.flowPkts = append(ix.flowPkts, run...)
+		ix.flowOff[fi+1] = int32(len(ix.flowPkts))
+		for _, pi := range run {
+			ix.flowOf[pi] = int32(fi)
+		}
+		ix.bySrc[k.Src] = append(ix.bySrc[k.Src], int32(fi))
+		ix.byDst[k.Dst] = append(ix.byDst[k.Dst], int32(fi))
+		ix.byDstPort[k.DstPort] = append(ix.byDstPort[k.DstPort], int32(fi))
+	}
+
+	// Time buckets: one offset per trace second, closed by the packet count.
+	nb := 0
+	if n > 0 {
+		nb = int(ix.TS[n-1]/bucketTS) + 1
+	}
+	ix.bucketLo = make([]int32, nb+1)
+	pi := 0
+	for b := 0; b <= nb; b++ {
+		for pi < n && ix.TS[pi] < int64(b)*bucketTS {
+			pi++
+		}
+		ix.bucketLo[b] = int32(pi)
+	}
+	return ix, nil
+}
+
+// flowLess is the canonical flow-table order: by source, destination,
+// source port, destination port, protocol.
+func flowLess(a, b FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
+// Trace returns the indexed trace.
+func (ix *Index) Trace() *Trace { return ix.tr }
+
+// Len returns the number of indexed packets.
+func (ix *Index) Len() int { return len(ix.TS) }
+
+// Duration returns the trace duration in seconds (timestamp of the last
+// packet; 0 when empty), matching Trace.Duration.
+func (ix *Index) Duration() float64 {
+	if len(ix.Seconds) == 0 {
+		return 0
+	}
+	return ix.Seconds[len(ix.Seconds)-1]
+}
+
+// PacketAt returns the full packet record at index i, for consumers that
+// need the row form (e.g. rule-mining transactions) rather than columns.
+func (ix *Index) PacketAt(i int) *Packet { return &ix.tr.Packets[i] }
+
+// Flows returns the number of distinct unidirectional flows.
+func (ix *Index) Flows() int { return len(ix.flows) }
+
+// Flow returns the flow key at flow-table index fi.
+func (ix *Index) Flow(fi int) FlowKey { return ix.flows[fi] }
+
+// FlowPackets returns flow fi's packet indices, ascending. The slice
+// aliases the index and must not be mutated.
+func (ix *Index) FlowPackets(fi int) []int32 {
+	return ix.flowPkts[ix.flowOff[fi]:ix.flowOff[fi+1]]
+}
+
+// FlowIDOf returns the flow-table id of packet pi.
+func (ix *Index) FlowIDOf(pi int) int32 { return ix.flowOf[pi] }
+
+// CandidateFlows returns the posting list most selective for the filter's
+// constrained header fields — ascending flow ids guaranteed to contain
+// every flow the filter can match — and true. When the filter constrains
+// none of the posted fields (source IP, destination IP, destination port)
+// it returns false and the caller must scan the flow table. Candidates
+// still require a Filter.MatchFlow check; the list only prunes.
+func (ix *Index) CandidateFlows(f Filter) ([]int32, bool) {
+	var best []int32
+	found := false
+	consider := func(l []int32) {
+		if !found || len(l) < len(best) {
+			best, found = l, true
+		}
+	}
+	if f.Src != nil {
+		consider(ix.bySrc[*f.Src])
+	}
+	if f.Dst != nil {
+		consider(ix.byDst[*f.Dst])
+	}
+	if f.DstPort != nil {
+		consider(ix.byDstPort[*f.DstPort])
+	}
+	return best, found
+}
+
+// Window returns the index range [lo,hi) of packets with timestamps in
+// [from,to) seconds — identical to Trace.Window, but the time buckets
+// narrow each boundary search to one bucket.
+func (ix *Index) Window(from, to float64) (lo, hi int) {
+	return ix.searchTS(int64(from * 1e6)), ix.searchTS(int64(to * 1e6))
+}
+
+// searchTS returns the first packet index with TS >= ts.
+func (ix *Index) searchTS(ts int64) int {
+	n := len(ix.TS)
+	if n == 0 || ts <= 0 {
+		return 0
+	}
+	b := ts / bucketTS
+	if b >= int64(len(ix.bucketLo)-1) {
+		return n
+	}
+	lo, hi := int(ix.bucketLo[b]), int(ix.bucketLo[b+1])
+	return lo + sort.Search(hi-lo, func(i int) bool { return ix.TS[lo+i] >= ts })
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// indexTestTrace builds a seeded synthetic trace with enough flow reuse and
+// timestamp collisions to exercise runs, postings and buckets.
+func indexTestTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Name: "index-test"}
+	for i := 0; i < n; i++ {
+		tr.Append(Packet{
+			TS:      int64(rng.Intn(30 * 1e6)),
+			Src:     MakeIPv4(10, 0, byte(rng.Intn(4)), byte(rng.Intn(16))),
+			Dst:     MakeIPv4(192, 168, byte(rng.Intn(4)), byte(rng.Intn(16))),
+			SrcPort: uint16(1024 + rng.Intn(64)),
+			DstPort: uint16(rng.Intn(8)*1111 + 80),
+			Len:     uint16(40 + rng.Intn(1460)),
+			Proto:   []Proto{TCP, UDP, ICMP}[rng.Intn(3)],
+			Flags:   TCPFlags(rng.Intn(256)),
+		})
+	}
+	tr.Sort()
+	return tr
+}
+
+// TestIndexParallelismDeterminism mirrors the repo's other determinism
+// matrices: the index built at workers 1, 2, 4 and 8 — and across repeated
+// runs — must be bitwise-identical in every structure: columns, flow order,
+// packet runs, postings and time buckets.
+func TestIndexParallelismDeterminism(t *testing.T) {
+	tr := indexTestTrace(7, 4000)
+	ref, err := BuildIndex(context.Background(), tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for run := 0; run < 3; run++ {
+			ix, err := BuildIndex(context.Background(), tr, workers)
+			if err != nil {
+				t.Fatalf("workers=%d run=%d: %v", workers, run, err)
+			}
+			if !reflect.DeepEqual(ix.flows, ref.flows) {
+				t.Fatalf("workers=%d run=%d: flow order differs", workers, run)
+			}
+			if !reflect.DeepEqual(ix.flowOff, ref.flowOff) || !reflect.DeepEqual(ix.flowPkts, ref.flowPkts) {
+				t.Fatalf("workers=%d run=%d: packet runs differ", workers, run)
+			}
+			if !reflect.DeepEqual(ix.flowOf, ref.flowOf) {
+				t.Fatalf("workers=%d run=%d: packet→flow mapping differs", workers, run)
+			}
+			if !reflect.DeepEqual(ix.bySrc, ref.bySrc) || !reflect.DeepEqual(ix.byDst, ref.byDst) ||
+				!reflect.DeepEqual(ix.byDstPort, ref.byDstPort) {
+				t.Fatalf("workers=%d run=%d: posting lists differ", workers, run)
+			}
+			if !reflect.DeepEqual(ix.bucketLo, ref.bucketLo) {
+				t.Fatalf("workers=%d run=%d: time buckets differ", workers, run)
+			}
+			if !reflect.DeepEqual(ix.TS, ref.TS) || !reflect.DeepEqual(ix.Seconds, ref.Seconds) ||
+				!reflect.DeepEqual(ix.Src, ref.Src) || !reflect.DeepEqual(ix.Dst, ref.Dst) ||
+				!reflect.DeepEqual(ix.SrcPort, ref.SrcPort) || !reflect.DeepEqual(ix.DstPort, ref.DstPort) ||
+				!reflect.DeepEqual(ix.PktLen, ref.PktLen) || !reflect.DeepEqual(ix.Proto, ref.Proto) ||
+				!reflect.DeepEqual(ix.Flags, ref.Flags) {
+				t.Fatalf("workers=%d run=%d: columns differ", workers, run)
+			}
+		}
+	}
+}
+
+// TestIndexMatchesFlowIndex: the canonical flow table must carry exactly
+// the flows and packet runs of the one-shot Trace.FlowIndex, in the
+// extractor's historical sort order.
+func TestIndexMatchesFlowIndex(t *testing.T) {
+	tr := indexTestTrace(11, 2500)
+	ix := NewIndex(tr)
+	want := tr.FlowIndex()
+	if ix.Flows() != len(want) {
+		t.Fatalf("flows = %d, want %d", ix.Flows(), len(want))
+	}
+	for fi := 0; fi < ix.Flows(); fi++ {
+		k := ix.Flow(fi)
+		if fi > 0 && !flowLess(ix.Flow(fi-1), k) {
+			t.Fatalf("flow table not strictly sorted at %d", fi)
+		}
+		run := ix.FlowPackets(fi)
+		ref := want[k]
+		if len(run) != len(ref) {
+			t.Fatalf("flow %v: run length %d, want %d", k, len(run), len(ref))
+		}
+		for i, pi := range run {
+			if int(pi) != ref[i] {
+				t.Fatalf("flow %v: run[%d] = %d, want %d", k, i, pi, ref[i])
+			}
+			if ix.FlowIDOf(int(pi)) != int32(fi) {
+				t.Fatalf("FlowIDOf(%d) = %d, want %d", pi, ix.FlowIDOf(int(pi)), fi)
+			}
+		}
+	}
+}
+
+// TestIndexWindowMatchesTrace: the bucket-narrowed Window must agree with
+// Trace.Window on randomized (including negative and out-of-range) bounds.
+func TestIndexWindowMatchesTrace(t *testing.T) {
+	tr := indexTestTrace(13, 1200)
+	ix := NewIndex(tr)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		from := rng.Float64()*40 - 5
+		to := from + rng.Float64()*10 - 2
+		wlo, whi := tr.Window(from, to)
+		ilo, ihi := ix.Window(from, to)
+		if wlo != ilo || whi != ihi {
+			t.Fatalf("Window(%v,%v) = [%d,%d), trace says [%d,%d)", from, to, ilo, ihi, wlo, whi)
+		}
+	}
+	// Exact bucket boundaries.
+	for _, sec := range []float64{0, 1, 1.5, 29, 30, 31} {
+		wlo, whi := tr.Window(sec, sec+1)
+		ilo, ihi := ix.Window(sec, sec+1)
+		if wlo != ilo || whi != ihi {
+			t.Fatalf("Window(%v) = [%d,%d), want [%d,%d)", sec, ilo, ihi, wlo, whi)
+		}
+	}
+}
+
+// TestIndexCandidateFlows: the posting lists must return a complete,
+// ascending candidate set for every constrained field, and decline filters
+// without a posted field.
+func TestIndexCandidateFlows(t *testing.T) {
+	tr := indexTestTrace(17, 2000)
+	ix := NewIndex(tr)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		k := ix.Flow(rng.Intn(ix.Flows()))
+		var f Filter
+		switch i % 4 {
+		case 0:
+			f = NewFilter().WithSrc(k.Src)
+		case 1:
+			f = NewFilter().WithDst(k.Dst)
+		case 2:
+			f = NewFilter().WithDstPort(k.DstPort)
+		default:
+			f = NewFilter().WithSrc(k.Src).WithDst(k.Dst).WithDstPort(k.DstPort)
+		}
+		cands, ok := ix.CandidateFlows(f)
+		if !ok {
+			t.Fatalf("filter %v: posting lists declined", f)
+		}
+		if !sort.SliceIsSorted(cands, func(a, b int) bool { return cands[a] < cands[b] }) {
+			t.Fatalf("filter %v: candidates not ascending", f)
+		}
+		inCands := make(map[int32]struct{}, len(cands))
+		for _, fi := range cands {
+			inCands[fi] = struct{}{}
+		}
+		for fi := 0; fi < ix.Flows(); fi++ {
+			if _, ok := inCands[int32(fi)]; !ok && f.MatchFlow(ix.Flow(fi)) {
+				t.Fatalf("filter %v: matching flow %d missing from candidates", f, fi)
+			}
+		}
+	}
+	if _, ok := ix.CandidateFlows(NewFilter()); ok {
+		t.Fatal("match-all filter should decline the prefilter")
+	}
+	if _, ok := ix.CandidateFlows(NewFilter().WithSrcPort(1030).WithProto(TCP)); ok {
+		t.Fatal("srcPort/proto-only filter should decline the prefilter")
+	}
+	// Absent value: prefilter accepts with zero candidates.
+	if cands, ok := ix.CandidateFlows(NewFilter().WithSrc(MakeIPv4(1, 2, 3, 4))); !ok || len(cands) != 0 {
+		t.Fatalf("unknown src: cands=%d ok=%v, want empty accept", len(cands), ok)
+	}
+}
+
+// TestIndexEmptyTrace: all accessors stay well-defined on an empty trace.
+func TestIndexEmptyTrace(t *testing.T) {
+	ix := NewIndex(&Trace{})
+	if ix.Len() != 0 || ix.Flows() != 0 || ix.Duration() != 0 {
+		t.Fatalf("empty index: len=%d flows=%d dur=%v", ix.Len(), ix.Flows(), ix.Duration())
+	}
+	if lo, hi := ix.Window(0, 10); lo != 0 || hi != 0 {
+		t.Fatalf("empty window = [%d,%d)", lo, hi)
+	}
+	if ix.Trace() == nil {
+		t.Fatal("trace accessor nil")
+	}
+}

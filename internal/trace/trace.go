@@ -140,8 +140,10 @@ func (t *Trace) Digest() string {
 }
 
 // FlowIndex maps every unidirectional flow key in the trace to the indices
-// of its packets, in timestamp order. It is the shared lookup structure used
-// by the traffic extractor and several detectors.
+// of its packets, in timestamp order. It is a one-shot convenience for
+// ad-hoc tools and tests; pipeline consumers should share a trace.Index
+// instead, whose canonical sorted flow table and posting lists replace
+// every per-consumer FlowIndex rebuild.
 func (t *Trace) FlowIndex() map[FlowKey][]int {
 	idx := make(map[FlowKey][]int)
 	for i := range t.Packets {

@@ -208,12 +208,19 @@ func (p *Pipeline) Run(tr *Trace) (*Labeling, error) {
 
 // RunContext is Run with cancellation: the detector fan-out and the
 // community-labeling stage stop scheduling new work once ctx is cancelled.
+// The trace is indexed exactly once (trace.BuildIndex on the pipeline's
+// worker pool); the one index feeds the detector fan-out, the similarity
+// estimator and the labeling heuristics.
 func (p *Pipeline) RunContext(ctx context.Context, tr *Trace) (*Labeling, error) {
-	alarms, totals, err := detectors.DetectAllContext(ctx, tr, p.Detectors, p.workers())
+	ix, err := trace.BuildIndex(ctx, tr, p.workers())
 	if err != nil {
 		return nil, err
 	}
-	return p.RunAlarmsContext(ctx, tr, alarms, totals)
+	alarms, totals, err := detectors.DetectAllContext(ctx, ix, p.Detectors, p.workers())
+	if err != nil {
+		return nil, err
+	}
+	return p.runAlarms(ctx, ix, alarms, totals)
 }
 
 // RunAlarms executes the estimator+combiner+labeler on externally produced
@@ -226,7 +233,16 @@ func (p *Pipeline) RunAlarms(tr *Trace, alarms []Alarm, totals map[string]int) (
 
 // RunAlarmsContext is RunAlarms with cancellation; see RunContext.
 func (p *Pipeline) RunAlarmsContext(ctx context.Context, tr *Trace, alarms []Alarm, totals map[string]int) (*Labeling, error) {
-	res, err := core.EstimateContext(ctx, tr, alarms, p.Estimator, p.workers())
+	ix, err := trace.BuildIndex(ctx, tr, p.workers())
+	if err != nil {
+		return nil, err
+	}
+	return p.runAlarms(ctx, ix, alarms, totals)
+}
+
+// runAlarms runs estimate → combine → label against one shared trace index.
+func (p *Pipeline) runAlarms(ctx context.Context, ix *trace.Index, alarms []Alarm, totals map[string]int) (*Labeling, error) {
+	res, err := core.EstimateContext(ctx, ix, alarms, p.Estimator, p.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +255,7 @@ func (p *Pipeline) RunAlarmsContext(ctx context.Context, tr *Trace, alarms []Ala
 	if p.RuleSupport > 0 {
 		opts.RuleSupport = p.RuleSupport
 	}
-	reports, err := core.BuildReportsContext(ctx, tr, res, dec, opts, p.workers())
+	reports, err := core.BuildReportsContext(ctx, res, dec, opts, p.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -357,8 +373,15 @@ func GroundTruthEval(tr *Trace, l *Labeling, truth []Event, minPackets int) (det
 }
 
 // HeuristicClass re-exports the Table 1 classifier for benchmark tooling.
+// It folds the cited packets directly — no index needed for a one-shot
+// classification; tooling classifying many packet sets of one trace should
+// hold a trace.Index and call heuristics.ClassifyPackets instead.
 func HeuristicClass(tr *Trace, packetIdx []int) (string, string) {
-	cls, cat := heuristics.ClassifyPackets(tr, packetIdx)
+	s := heuristics.NewSummary()
+	for _, i := range packetIdx {
+		s.Observe(&tr.Packets[i])
+	}
+	cls, cat := s.Classify()
 	return cls.String(), cat.String()
 }
 

@@ -79,19 +79,22 @@ func TestParallelismDeterminism(t *testing.T) {
 func TestEstimatorParallelismDeterminism(t *testing.T) {
 	tr, _ := detTestArchiveDay()
 	p := NewPipeline()
-	alarms, _, err := detectors.DetectAllContext(context.Background(), tr, p.Detectors, 1)
+	// One shared index, as the pipeline builds it: detector fan-out and
+	// estimator resolve against the same structure.
+	ix := trace.NewIndex(tr)
+	alarms, _, err := detectors.DetectAllContext(context.Background(), ix, p.Detectors, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(alarms) == 0 {
 		t.Fatal("detector ensemble produced no alarms on a Sasser-era day")
 	}
-	ref, err := core.EstimateContext(context.Background(), tr, alarms, p.Estimator, 1)
+	ref, err := core.EstimateContext(context.Background(), ix, alarms, p.Estimator, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 8} {
-		res, err := core.EstimateContext(context.Background(), tr, alarms, p.Estimator, workers)
+		res, err := core.EstimateContext(context.Background(), ix, alarms, p.Estimator, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -153,7 +156,7 @@ type errorDetector struct{ failCfg int }
 
 func (d *errorDetector) Name() string    { return "errdet" }
 func (d *errorDetector) NumConfigs() int { return 3 }
-func (d *errorDetector) Detect(tr *trace.Trace, config int) ([]core.Alarm, error) {
+func (d *errorDetector) Detect(ix *trace.Index, config int) ([]core.Alarm, error) {
 	if config == d.failCfg {
 		return nil, errors.New("synthetic detector failure")
 	}

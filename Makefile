@@ -3,13 +3,14 @@
 
 GO ?= go
 # Benchmarks the CI smoke job tracks across commits (and the bench gate
-# compares against BENCH_baseline.json). PipelineDay, SimilarityGraph,
-# Louvain, GenerateDay, TraceIndex and Extract carry workers={1,4,N}
-# sub-benches, so each run records the parallel speedup ratios too
-# (GenerateDay also matches the day-level GenerateDays fan-out benches).
-# TraceIndex covers the shared columnar index build and Extract the
-# posting-list alarm extraction — the hot paths the index refactor opened.
-BENCH_PATTERN ?= PipelineDay|Detectors|Louvain|SimilarityGraph|GenerateDay|TraceIndex|Extract
+# compares against BENCH_baseline.json). PipelineDay, PipelineStream,
+# SimilarityGraph, Louvain, GenerateDay, TraceIndex and Extract carry
+# workers={1,4,N} sub-benches, so each run records the parallel speedup
+# ratios too (GenerateDay also matches the day-level GenerateDays fan-out
+# benches). TraceIndex covers the shared columnar index build, Extract the
+# posting-list alarm extraction, and PipelineStream the segmented streaming
+# path (per-segment seal + detect, sliding-window labeling).
+BENCH_PATTERN ?= PipelineDay|PipelineStream|Detectors|Louvain|SimilarityGraph|GenerateDay|TraceIndex|Extract
 # Total-coverage floor for `make cover`, in percent. Set from the measured
 # coverage at the last raise (85.1% when the golden-fixture and fuzz tests
 # landed), rounded down; raise it as coverage grows, never lower it to make
@@ -35,12 +36,15 @@ build:
 test:
 	$(GO) test ./...
 
-# The race job covers the root package (pipeline + benches compile in) and
-# every internal package, since the concurrency lives under internal/ —
-# in particular ./internal/mawigen (windowed background generation +
-# injection fan-out), ./internal/parallel (the pool itself),
-# ./internal/graphx (partition-parallel Louvain) and ./internal/simgraph
-# (keyed-shard similarity graph), all matched by ./internal/... below.
+# The race job covers the root package (pipeline + benches compile in,
+# including the RunStream engine and its TestStreamMatchesBatch /
+# TestStreamDeterminismMatrix / cancellation tests) and every internal
+# package, since the concurrency lives under internal/ — in particular
+# ./internal/trace (segment sealing + index builds), ./internal/mawigen
+# (windowed background generation + injection fan-out), ./internal/parallel
+# (the pool itself), ./internal/graphx (partition-parallel Louvain) and
+# ./internal/simgraph (keyed-shard similarity graph), all matched by
+# ./internal/... below.
 race:
 	$(GO) test -race ./internal/... .
 

@@ -545,6 +545,40 @@ func BenchmarkPipelineDay(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineStream times the segmented streaming path on one archive
+// day — sealing 15s segments and labeling a sliding 2-segment window per
+// stride — at several worker-pool sizes. workers=1 is the sequential
+// reference path; the window labelings are byte-identical across sub-benches
+// (see TestStreamDeterminismMatrix), so the ns/op ratio is the pure speedup
+// of the per-segment index builds, detector fan-outs and window labelings.
+func BenchmarkPipelineStream(b *testing.B) {
+	day := benchArchive().Day(time.Date(2005, 3, 7, 0, 0, 0, 0, time.UTC))
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := NewPipeline().Parallelism(workers)
+			p.Stream = StreamConfig{SegmentSeconds: 15, WindowSegments: 2, WindowStride: 1}
+			for i := 0; i < b.N; i++ {
+				packets := make(chan Packet, day.Trace.Len())
+				for _, pkt := range day.Trace.Packets {
+					packets <- pkt
+				}
+				close(packets)
+				s := p.RunStream(context.Background(), packets)
+				windows := 0
+				for range s.Windows() {
+					windows++
+				}
+				if err := s.Wait(); err != nil {
+					b.Fatal(err)
+				}
+				if windows == 0 {
+					b.Fatal("stream emitted no windows")
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md) ----------------------------------------------
 
 // BenchmarkAblationSimilarity compares the three similarity measures: the

@@ -13,9 +13,12 @@
 //
 // compares two such JSON files and exits non-zero when any benchmark present
 // in both regresses — new ns/op exceeds old by more than the threshold
-// fraction (default 0.25). Benchmarks present on only one side are reported
-// but never fail the gate, so adding or retiring a bench does not require a
-// baseline refresh in the same commit.
+// fraction (default 0.25) — or when a benchmark in the new run has no
+// baseline entry at all: an ungated benchmark is an untracked perf path, so
+// adding a bench to BENCH_PATTERN requires refreshing the baseline in the
+// same commit (`make bench-baseline`). Benchmarks present only in the
+// baseline warn but never fail, so retiring a bench needs no simultaneous
+// refresh.
 package main
 
 import (
@@ -49,7 +52,7 @@ func main() {
 		os.Exit(2)
 	}
 	if oldPath != "" {
-		regressions, tracked, err := compareFiles(os.Stdout, oldPath, newPath, threshold)
+		regressions, tracked, missing, err := compareFiles(os.Stdout, oldPath, newPath, threshold)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
@@ -60,8 +63,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: no benchmark appears in both %s and %s; the gate would be vacuous\n", oldPath, newPath)
 			os.Exit(2)
 		}
+		failed := false
 		if regressions > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.0f%%\n", regressions, threshold*100)
+			failed = true
+		}
+		if missing > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) missing from %s; refresh it with `make bench-baseline`\n", missing, oldPath)
+			failed = true
+		}
+		if failed {
 			os.Exit(1)
 		}
 		return
@@ -157,19 +168,20 @@ func parseLine(line string) (Record, bool) {
 }
 
 // compareFiles loads two BENCH json files and prints a comparison table to
-// w, returning how many benchmarks regressed past the threshold and how
-// many were tracked (present in both files).
-func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (regressions, tracked int, err error) {
+// w, returning how many benchmarks regressed past the threshold, how many
+// were tracked (present in both files), and how many new-run benchmarks have
+// no baseline entry.
+func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (regressions, tracked, missing int, err error) {
 	oldRecs, err := loadRecords(oldPath)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	newRecs, err := loadRecords(newPath)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	regressions, tracked = compare(w, oldRecs, newRecs, threshold)
-	return regressions, tracked, nil
+	regressions, tracked, missing = compare(w, oldRecs, newRecs, threshold)
+	return regressions, tracked, missing, nil
 }
 
 func loadRecords(path string) ([]Record, error) {
@@ -206,9 +218,12 @@ func normalizeName(name string) string {
 // number of regressions — tracked (= present in both files, keyed by their
 // normalized name) benchmarks whose new ns/op exceeds old by more than the
 // threshold fraction — along with the tracked count itself, so callers can
-// detect a vacuous comparison. A baseline of 0 ns/op can't regress. Order
+// detect a vacuous comparison, and the count of new-run benchmarks missing
+// from the baseline, which fail the gate: a benchmark outside the baseline
+// is an untracked perf path, so landing one requires a `make bench-baseline`
+// refresh in the same commit. A baseline of 0 ns/op can't regress. Order
 // follows the old file, so gate output is stable across runs.
-func compare(w io.Writer, oldRecs, newRecs []Record, threshold float64) (regressions, tracked int) {
+func compare(w io.Writer, oldRecs, newRecs []Record, threshold float64) (regressions, tracked, missing int) {
 	newBy := make(map[string]Record, len(newRecs))
 	for _, r := range newRecs {
 		newBy[normalizeName(r.Name)] = r
@@ -243,8 +258,12 @@ func compare(w io.Writer, oldRecs, newRecs []Record, threshold float64) (regress
 	}
 	for _, n := range newRecs {
 		if !seen[normalizeName(n.Name)] {
-			fmt.Fprintf(w, "%-60s new benchmark, no baseline\n", normalizeName(n.Name))
+			// A failure, unlike the baseline-only case above: this benchmark
+			// runs in CI right now with nothing to gate it against, and a
+			// perf path that silently skips the gate defeats its purpose.
+			fmt.Fprintf(w, "%-60s ERROR: missing from baseline — run `make bench-baseline`\n", normalizeName(n.Name))
+			missing++
 		}
 	}
-	return regressions, tracked
+	return regressions, tracked, missing
 }

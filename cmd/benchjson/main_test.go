@@ -80,7 +80,7 @@ func TestCompareFailsOnSyntheticRegression(t *testing.T) {
 	oldRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 1000.0, "BenchmarkPipelineDay/workers=4-4", 2000.0)
 	newRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 1300.0, "BenchmarkPipelineDay/workers=4-4", 2100.0)
 	var sb strings.Builder
-	if got, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 1 {
+	if got, _, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 1 {
 		t.Fatalf("regressions = %d, want 1 (30%% > 25%% threshold)\n%s", got, sb.String())
 	}
 	if !strings.Contains(sb.String(), "REGRESSED") {
@@ -110,7 +110,7 @@ func TestCompareAcrossCoreCounts(t *testing.T) {
 	oldRecs := recs("BenchmarkSimilarityGraph/workers=1", 1000.0)
 	newRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 2000.0)
 	var sb strings.Builder
-	if got, tracked := compare(&sb, oldRecs, newRecs, 0.25); got != 1 || tracked != 1 {
+	if got, tracked, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 1 || tracked != 1 {
 		t.Fatalf("regressions = %d, tracked = %d, want 1/1 — cross-machine names didn't match\n%s", got, tracked, sb.String())
 	}
 }
@@ -119,24 +119,36 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 	oldRecs := recs("BenchmarkA-1", 1000.0, "BenchmarkB-1", 500.0)
 	newRecs := recs("BenchmarkA-1", 1240.0, "BenchmarkB-1", 100.0) // +24% and a speedup
 	var sb strings.Builder
-	if got, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 0 {
+	if got, _, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 0 {
 		t.Fatalf("regressions = %d, want 0\n%s", got, sb.String())
 	}
 }
 
-// TestCompareUntrackedNeverFails: benchmarks on only one side are reported
-// but don't gate, so adding or retiring a bench needs no simultaneous
-// baseline refresh. A zero baseline can't regress either.
-func TestCompareUntrackedNeverFails(t *testing.T) {
-	oldRecs := recs("BenchmarkRetired-1", 1000.0, "BenchmarkZero-1", 0.0)
-	newRecs := recs("BenchmarkBrandNew-1", 9999999.0, "BenchmarkZero-1", 123.0)
+// TestCompareMissingFromBaselineFails: a benchmark present in the new run
+// but absent from the baseline must fail the gate — it is running in CI with
+// nothing to gate it against, so landing it requires a `make bench-baseline`
+// refresh in the same commit. A zero baseline still can't regress.
+func TestCompareMissingFromBaselineFails(t *testing.T) {
+	oldRecs := recs("BenchmarkKept-1", 1000.0, "BenchmarkZero-1", 0.0)
+	newRecs := recs("BenchmarkKept-1", 1000.0, "BenchmarkBrandNew-1", 9999999.0, "BenchmarkZero-1", 123.0)
 	var sb strings.Builder
-	if got, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 0 {
-		t.Fatalf("regressions = %d, want 0\n%s", got, sb.String())
+	regressions, tracked, missing := compare(&sb, oldRecs, newRecs, 0.25)
+	if regressions != 0 {
+		t.Errorf("regressions = %d, want 0 — an unbaselined benchmark is missing, not regressed", regressions)
 	}
-	for _, marker := range []string{"baseline only", "new benchmark", "skipped"} {
-		if !strings.Contains(sb.String(), marker) {
-			t.Errorf("report lacks %q:\n%s", marker, sb.String())
+	if tracked != 2 {
+		t.Errorf("tracked = %d, want 2", tracked)
+	}
+	if missing != 1 {
+		t.Fatalf("missing = %d, want 1 (BenchmarkBrandNew has no baseline)\n%s", missing, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkBrandNew") {
+		t.Fatalf("unbaselined benchmark not mentioned:\n%s", out)
+	}
+	for _, marker := range []string{"ERROR", "missing from baseline", "bench-baseline", "skipped"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("report lacks %q:\n%s", marker, out)
 		}
 	}
 }
@@ -150,12 +162,15 @@ func TestCompareBaselineOnlyWarns(t *testing.T) {
 	oldRecs := recs("BenchmarkKept-1", 1000.0, "BenchmarkVanished-1", 1000.0)
 	newRecs := recs("BenchmarkKept-1", 1000.0)
 	var sb strings.Builder
-	regressions, tracked := compare(&sb, oldRecs, newRecs, 0.25)
+	regressions, tracked, missing := compare(&sb, oldRecs, newRecs, 0.25)
 	if regressions != 0 {
 		t.Errorf("regressions = %d, want 0 — a vanished benchmark must warn, not fail", regressions)
 	}
 	if tracked != 1 {
 		t.Errorf("tracked = %d, want 1 — the vanished benchmark must not count as tracked", tracked)
+	}
+	if missing != 0 {
+		t.Errorf("missing = %d, want 0 — baseline-only is a warning, not a missing-from-baseline failure", missing)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "BenchmarkVanished") {
@@ -173,10 +188,10 @@ func TestCompareBaselineOnlyWarns(t *testing.T) {
 // nothing and must not read as a green gate.
 func TestCompareTrackedCount(t *testing.T) {
 	var sb strings.Builder
-	if _, tracked := compare(&sb, recs("BenchmarkA-1", 100.0), recs("BenchmarkB-1", 100.0), 0.25); tracked != 0 {
-		t.Errorf("disjoint files: tracked = %d, want 0", tracked)
+	if _, tracked, missing := compare(&sb, recs("BenchmarkA-1", 100.0), recs("BenchmarkB-1", 100.0), 0.25); tracked != 0 || missing != 1 {
+		t.Errorf("disjoint files: tracked = %d, missing = %d, want 0/1", tracked, missing)
 	}
-	if _, tracked := compare(&sb, recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 0.0), recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 5.0), 0.25); tracked != 2 {
+	if _, tracked, _ := compare(&sb, recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 0.0), recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 5.0), 0.25); tracked != 2 {
 		t.Errorf("tracked = %d, want 2 (zero-baseline benches still count as tracked)", tracked)
 	}
 }
@@ -194,18 +209,18 @@ func TestCompareFilesEndToEnd(t *testing.T) {
 	writeJSON(oldPath, `[{"name":"BenchmarkX-1","iterations":1,"ns_per_op":100}]`)
 	writeJSON(newPath, `[{"name":"BenchmarkX-1","iterations":1,"ns_per_op":200}]`)
 	var sb strings.Builder
-	n, tracked, err := compareFiles(&sb, oldPath, newPath, 0.25)
+	n, tracked, missing, err := compareFiles(&sb, oldPath, newPath, 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 || tracked != 1 {
-		t.Errorf("regressions = %d, tracked = %d, want 1/1 (2.00x)\n%s", n, tracked, sb.String())
+	if n != 1 || tracked != 1 || missing != 0 {
+		t.Errorf("regressions = %d, tracked = %d, missing = %d, want 1/1/0 (2.00x)\n%s", n, tracked, missing, sb.String())
 	}
-	if _, _, err := compareFiles(&sb, oldPath, filepath.Join(dir, "missing.json"), 0.25); err == nil {
+	if _, _, _, err := compareFiles(&sb, oldPath, filepath.Join(dir, "missing.json"), 0.25); err == nil {
 		t.Error("missing new.json accepted")
 	}
 	writeJSON(newPath, `{not json`)
-	if _, _, err := compareFiles(&sb, oldPath, newPath, 0.25); err == nil {
+	if _, _, _, err := compareFiles(&sb, oldPath, newPath, 0.25); err == nil {
 		t.Error("malformed JSON accepted")
 	}
 }

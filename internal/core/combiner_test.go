@@ -20,7 +20,7 @@ func paperExampleResult(t *testing.T) (*Result, map[string]int) {
 		scanAlarm("B", 1),
 		scanAlarm("B", 2),
 	}
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -118,9 +118,13 @@ func (r *Result) Index() *trace.Index { return r.extractor.Index() }
 
 // Estimate runs the similarity estimator (§2.1) over the alarms reported on
 // tr: extract each alarm's traffic, weight alarm pairs by traffic
-// similarity, and cluster the resulting graph into communities. It builds a
-// fresh trace.Index; callers already holding the shared index should use
-// EstimateContext.
+// similarity, and cluster the resulting graph into communities.
+//
+// Deprecated: the segment API is the entry point — estimation resolves
+// alarms against an index the caller already holds (a sealed segment's, a
+// streaming window's, or trace.SealTrace's canonical whole-trace index),
+// never against a raw trace. Use EstimateContext with that index so it is
+// shared with detection and labeling instead of being rebuilt per call.
 func Estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, error) {
 	return EstimateContext(context.Background(), trace.NewIndex(tr), alarms, cfg, 1)
 }

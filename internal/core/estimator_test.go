@@ -1,10 +1,38 @@
 package core
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"mawilab/internal/trace"
 )
+
+// estimate is the tests' shim over the index-taking EstimateContext — the
+// segment-era entry point. The deprecated trace-taking Estimate wrapper is
+// exercised once, in TestDeprecatedEstimateMatchesIndexForm.
+func estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, error) {
+	return EstimateContext(context.Background(), trace.NewIndex(tr), alarms, cfg, 1)
+}
+
+// TestDeprecatedEstimateMatchesIndexForm pins the compatibility contract of
+// the deprecated wrapper: estimate(tr, ...) is exactly EstimateContext over
+// the trace's canonical index.
+func TestDeprecatedEstimateMatchesIndexForm(t *testing.T) {
+	tr := twoEventTrace()
+	alarms := []Alarm{scanAlarm("hough", 0), pingAlarm("kl", 0)}
+	old, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := estimate(tr, alarms, DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old.Graph, idx.Graph) || !reflect.DeepEqual(old.Communities, idx.Communities) {
+		t.Fatal("deprecated Estimate wrapper diverged from the index-taking form")
+	}
+}
 
 // twoEventTrace builds a trace with two disjoint anomalies plus background:
 // a port scan from scanner and a ping flood from pinger, with some unrelated
@@ -57,7 +85,7 @@ func TestEstimateGroupsSameTrafficAcrossDetectors(t *testing.T) {
 		pingAlarm("kl", 0),
 		pingAlarm("gamma", 1),
 	}
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +116,7 @@ func TestEstimateSimpsonContainment(t *testing.T) {
 	oneDst := Alarm{Detector: "b", Config: 0, Filters: []trace.Filter{
 		trace.NewFilter().WithSrc(trace.MakeIPv4(10, 9, 9, 9)).WithDst(trace.MakeIPv4(10, 0, 2, 5)),
 	}}
-	res, err := Estimate(tr, []Alarm{host, oneDst}, DefaultEstimatorConfig())
+	res, err := estimate(tr, []Alarm{host, oneDst}, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +138,7 @@ func TestEstimateJaccardLowerThanSimpson(t *testing.T) {
 	cfg := DefaultEstimatorConfig()
 	cfg.Measure = Jaccard
 	cfg.MinSimilarity = 0
-	res, err := Estimate(tr, []Alarm{host, oneDst}, cfg)
+	res, err := estimate(tr, []Alarm{host, oneDst}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +152,7 @@ func TestEstimateConstantMeasure(t *testing.T) {
 	tr := twoEventTrace()
 	cfg := DefaultEstimatorConfig()
 	cfg.Measure = Constant
-	res, err := Estimate(tr, []Alarm{scanAlarm("a", 0), scanAlarm("b", 0)}, cfg)
+	res, err := estimate(tr, []Alarm{scanAlarm("a", 0), scanAlarm("b", 0)}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +170,7 @@ func TestEstimateMinSimilarityDiscriminates(t *testing.T) {
 	cfg := DefaultEstimatorConfig()
 	cfg.Measure = Jaccard // 1/40 = 0.025
 	cfg.MinSimilarity = 0.1
-	res, err := Estimate(tr, []Alarm{host, oneDst}, cfg)
+	res, err := estimate(tr, []Alarm{host, oneDst}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +187,7 @@ func TestEstimateComponentsAblation(t *testing.T) {
 	cfg := DefaultEstimatorConfig()
 	cfg.Algo = ConnectedComponents
 	alarms := []Alarm{scanAlarm("a", 0), scanAlarm("b", 0), pingAlarm("c", 0)}
-	res, err := Estimate(tr, alarms, cfg)
+	res, err := estimate(tr, alarms, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,24 +200,24 @@ func TestEstimateBadConfig(t *testing.T) {
 	tr := twoEventTrace()
 	cfg := DefaultEstimatorConfig()
 	cfg.MinSimilarity = 2
-	if _, err := Estimate(tr, nil, cfg); err == nil {
+	if _, err := estimate(tr, nil, cfg); err == nil {
 		t.Error("invalid MinSimilarity accepted")
 	}
 	cfg = DefaultEstimatorConfig()
 	cfg.Measure = Measure(99)
-	if _, err := Estimate(tr, []Alarm{scanAlarm("a", 0), scanAlarm("b", 0)}, cfg); err == nil {
+	if _, err := estimate(tr, []Alarm{scanAlarm("a", 0), scanAlarm("b", 0)}, cfg); err == nil {
 		t.Error("unknown measure accepted")
 	}
 	cfg = DefaultEstimatorConfig()
 	cfg.Algo = CommunityAlgo(99)
-	if _, err := Estimate(tr, []Alarm{scanAlarm("a", 0)}, cfg); err == nil {
+	if _, err := estimate(tr, []Alarm{scanAlarm("a", 0)}, cfg); err == nil {
 		t.Error("unknown algo accepted")
 	}
 }
 
 func TestEstimateEmptyAlarms(t *testing.T) {
 	tr := twoEventTrace()
-	res, err := Estimate(tr, nil, DefaultEstimatorConfig())
+	res, err := estimate(tr, nil, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +231,7 @@ func TestEstimateNoTrafficAlarmIsSingle(t *testing.T) {
 	ghost := Alarm{Detector: "x", Filters: []trace.Filter{
 		trace.NewFilter().WithSrc(trace.MakeIPv4(99, 0, 0, 1)),
 	}}
-	res, err := Estimate(tr, []Alarm{ghost, scanAlarm("a", 0)}, DefaultEstimatorConfig())
+	res, err := estimate(tr, []Alarm{ghost, scanAlarm("a", 0)}, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +243,7 @@ func TestEstimateNoTrafficAlarmIsSingle(t *testing.T) {
 func TestDetectorsIn(t *testing.T) {
 	tr := twoEventTrace()
 	alarms := []Alarm{scanAlarm("hough", 0), scanAlarm("hough", 1), scanAlarm("gamma", 0)}
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +286,7 @@ func TestEstimateMinSimilarityBoundaryKept(t *testing.T) {
 	}}
 	cfg := DefaultEstimatorConfig()
 	cfg.MinSimilarity = 1
-	res, err := Estimate(tr, []Alarm{host, oneDst}, cfg)
+	res, err := estimate(tr, []Alarm{host, oneDst}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +300,7 @@ func TestEstimateMinSimilarityBoundaryKept(t *testing.T) {
 
 // TestSingleCommunitiesEmptyResult: no alarms → no communities, none single.
 func TestSingleCommunitiesEmptyResult(t *testing.T) {
-	res, err := Estimate(twoEventTrace(), nil, DefaultEstimatorConfig())
+	res, err := estimate(twoEventTrace(), nil, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +311,7 @@ func TestSingleCommunitiesEmptyResult(t *testing.T) {
 
 // TestSingleCommunitiesSingleton: one alarm is exactly one size-1 community.
 func TestSingleCommunitiesSingleton(t *testing.T) {
-	res, err := Estimate(twoEventTrace(), []Alarm{scanAlarm("a", 0)}, DefaultEstimatorConfig())
+	res, err := estimate(twoEventTrace(), []Alarm{scanAlarm("a", 0)}, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +327,7 @@ func TestSingleCommunitiesSingleton(t *testing.T) {
 // TestDetectorsInSingleCommunity: a size-1 community reports exactly its one
 // detector; an empty community reports none.
 func TestDetectorsInSingleCommunity(t *testing.T) {
-	res, err := Estimate(twoEventTrace(), []Alarm{scanAlarm("hough", 0)}, DefaultEstimatorConfig())
+	res, err := estimate(twoEventTrace(), []Alarm{scanAlarm("hough", 0)}, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

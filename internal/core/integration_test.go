@@ -17,7 +17,7 @@ func TestFig1GranularityStory(t *testing.T) {
 
 	pktCfg := DefaultEstimatorConfig()
 	pktCfg.Granularity = trace.GranPacket
-	pktRes, err := Estimate(tr, alarms, pktCfg)
+	pktRes, err := estimate(tr, alarms, pktCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestFig1GranularityStory(t *testing.T) {
 	for _, g := range []trace.Granularity{trace.GranUniFlow, trace.GranBiFlow} {
 		cfg := DefaultEstimatorConfig()
 		cfg.Granularity = g
-		res, err := Estimate(tr, alarms, cfg)
+		res, err := estimate(tr, alarms, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func TestEstimatePartitionInvariant(t *testing.T) {
 			}
 			alarms[i] = a
 		}
-		res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+		res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 		if err != nil {
 			return false
 		}
@@ -96,7 +96,7 @@ func TestCommunityTrafficSupersetInvariant(t *testing.T) {
 		scanAlarm("a", 0), scanAlarm("b", 1), pingAlarm("a", 2),
 		{Detector: "c", Config: 0, Filters: []trace.Filter{trace.NewFilter().WithDstPort(80)}},
 	}
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestStrategiesAgreeOnUnanimity(t *testing.T) {
 		}
 	}
 	alarms = append(alarms, pingAlarm("a", 0)) // isolated single vote
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,13 +175,13 @@ func TestLouvainNeverWorseThanComponentsOnModularity(t *testing.T) {
 		}
 	}
 	cfgL := DefaultEstimatorConfig()
-	resL, err := Estimate(tr, alarms, cfgL)
+	resL, err := estimate(tr, alarms, cfgL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgC := DefaultEstimatorConfig()
 	cfgC.Algo = ConnectedComponents
-	resC, err := Estimate(tr, alarms, cfgC)
+	resC, err := estimate(tr, alarms, cfgC)
 	if err != nil {
 		t.Fatal(err)
 	}

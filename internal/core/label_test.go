@@ -38,7 +38,7 @@ func TestBuildReports(t *testing.T) {
 		scanAlarm("a", 0), scanAlarm("b", 0),
 		pingAlarm("a", 1),
 	}
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestBuildReports(t *testing.T) {
 
 func TestBuildReportsPingHeuristic(t *testing.T) {
 	tr := twoEventTrace()
-	res, err := Estimate(tr, []Alarm{pingAlarm("a", 0)}, DefaultEstimatorConfig())
+	res, err := estimate(tr, []Alarm{pingAlarm("a", 0)}, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestBuildReportsPingHeuristic(t *testing.T) {
 
 func TestBuildReportsErrors(t *testing.T) {
 	tr := twoEventTrace()
-	res, err := Estimate(tr, []Alarm{scanAlarm("a", 0)}, DefaultEstimatorConfig())
+	res, err := estimate(tr, []Alarm{scanAlarm("a", 0)}, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestBuildReportsErrors(t *testing.T) {
 
 func TestBuildReportsMaxRules(t *testing.T) {
 	tr := twoEventTrace()
-	res, err := Estimate(tr, []Alarm{scanAlarm("a", 0)}, DefaultEstimatorConfig())
+	res, err := estimate(tr, []Alarm{scanAlarm("a", 0)}, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,7 +48,7 @@ func TestSCANNAcceptsBroadlyVotedRejectsIsolated(t *testing.T) {
 	for e := 4; e < 8; e++ {
 		alarms = append(alarms, eventAlarm("noisy", 0, e))
 	}
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestSCANNRelativeDistanceOrdering(t *testing.T) {
 		alarms = append(alarms, eventAlarm("a", cfg, 1))
 	}
 	alarms = append(alarms, eventAlarm("a", 0, 2))
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestSCANNRelativeDistanceOrdering(t *testing.T) {
 
 func TestSCANNEmptyResult(t *testing.T) {
 	tr := multiCommunityTrace(1)
-	res, err := Estimate(tr, nil, DefaultEstimatorConfig())
+	res, err := estimate(tr, nil, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestSCANNAllIdenticalVotes(t *testing.T) {
 	for e := 0; e < 3; e++ {
 		alarms = append(alarms, eventAlarm("only", 0, e))
 	}
-	res, err := Estimate(tr, alarms, DefaultEstimatorConfig())
+	res, err := estimate(tr, alarms, DefaultEstimatorConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

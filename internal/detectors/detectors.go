@@ -73,8 +73,14 @@ type Detector interface {
 // freshly built index and concatenates the alarms — the "12 outputs of all
 // the configurations" fed to the similarity estimator in the paper's
 // experiments. It also returns the per-detector configuration totals needed
-// for confidence scores. Callers that already hold a trace.Index should use
-// DetectAllContext to avoid rebuilding it.
+// for confidence scores.
+//
+// Deprecated: the segment API is the entry point — detection consumes a
+// sealed segment's (or a whole trace's canonical) index, never a raw trace.
+// Use DetectAllContext with the index you already hold (seg.Index from
+// trace.SegmentWriter/trace.Segments, or trace.SealTrace for a materialized
+// trace) so the one index is shared with the estimator and labeling stages
+// instead of being rebuilt per call.
 func DetectAll(tr *trace.Trace, dets []Detector) ([]core.Alarm, map[string]int, error) {
 	return DetectAllContext(context.Background(), trace.NewIndex(tr), dets, 1)
 }

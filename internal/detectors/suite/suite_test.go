@@ -1,6 +1,7 @@
 package suite
 
 import (
+	"context"
 	"testing"
 
 	"mawilab/internal/core"
@@ -49,7 +50,11 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	gen := mawigen.Generate(cfg)
 
-	alarms, totals, err := detectors.DetectAll(gen.Trace, Standard())
+	// One index for the whole day, shared by detection and estimation — the
+	// same lifecycle a sealed segment gives the pipeline.
+	ctx := context.Background()
+	ix := trace.NewIndex(gen.Trace)
+	alarms, totals, err := detectors.DetectAllContext(ctx, ix, Standard(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +62,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatalf("ensemble produced only %d alarms", len(alarms))
 	}
 
-	res, err := core.Estimate(gen.Trace, alarms, core.DefaultEstimatorConfig())
+	res, err := core.EstimateContext(ctx, ix, alarms, core.DefaultEstimatorConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,5 +141,4 @@ func TestEndToEndPipeline(t *testing.T) {
 	if coveredEvents == 0 {
 		t.Errorf("no injected event covered by accepted communities (%d events)", len(gen.Truth))
 	}
-	_ = trace.GranUniFlow
 }

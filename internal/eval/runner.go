@@ -105,13 +105,15 @@ func (r *Runner) day(ctx context.Context, date time.Time, workers int) (*DayResu
 	arch := *r.Archive
 	arch.Workers = workers
 	gen := arch.Day(date)
-	// One shared columnar index per day: the detector fan-out, the
-	// estimator's traffic extraction and the labeling heuristics all
-	// resolve against it — no per-stage flow-table rebuilds.
-	ix, err := trace.BuildIndex(ctx, gen.Trace, workers)
+	// Seal the day as one canonical segment: its shared columnar index feeds
+	// the detector fan-out, the estimator's traffic extraction and the
+	// labeling heuristics — no per-stage flow-table rebuilds, and the same
+	// lifecycle the streaming pipeline gives every sealed segment.
+	seg, err := trace.SealTrace(ctx, gen.Trace, workers)
 	if err != nil {
 		return nil, err
 	}
+	ix := seg.Index
 	alarms, totals, err := detectors.DetectAllContext(ctx, ix, r.Detectors, workers)
 	if err != nil {
 		return nil, err

@@ -15,7 +15,7 @@
 //     human-readable labels under the Anomalous / Suspicious / Notice /
 //     Benign taxonomy.
 //
-// Quick start:
+// Quick start (batch — one materialized day):
 //
 //	day := mawilab.NewArchive(42).Day(time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC))
 //	labeling, err := mawilab.NewPipeline().Run(day.Trace)
@@ -23,6 +23,23 @@
 //	for _, rep := range labeling.Reports {
 //	    fmt.Println(rep.String())
 //	}
+//
+// Streaming (unbounded packet stream, labelings per closed window):
+//
+//	p := mawilab.NewPipeline()
+//	p.Stream = mawilab.StreamConfig{SegmentSeconds: 900, WindowSegments: 4, WindowStride: 1}
+//	s := p.RunStream(ctx, packets) // packets <-chan mawilab.Packet, sorted by timestamp
+//	for w := range s.Windows() {
+//	    w.Labeling.WriteCSV(os.Stdout)
+//	}
+//	if err := s.Wait(); err != nil { ... }
+//
+// Both paths run the same engine: the ingest is chopped into sealed
+// trace.Segments (each with its own columnar index), detectors run per
+// segment, and the estimator/combiner/labeler run per sliding window of
+// segments. Run is RunStream with the canonical batch boundary — the whole
+// trace as one sealed segment, one window — which is why a stream chopped at
+// that boundary reproduces the batch labeling bit-for-bit.
 //
 // The subpackages under internal/ implement every substrate from scratch:
 // the four detectors (PCA, Gamma, Hough, KL), Louvain community mining,
@@ -34,6 +51,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
 	"runtime"
 	"time"
 
@@ -60,6 +78,12 @@ type (
 	Filter = trace.Filter
 	// Granularity selects packet/uniflow/biflow traffic comparison.
 	Granularity = trace.Granularity
+	// Segment is one sealed, immutable span of a packet stream with its
+	// own columnar index — the unit of the streaming pipeline.
+	Segment = trace.Segment
+	// SegmentWriter accepts packets incrementally and seals fixed-duration
+	// segments as the stream crosses grid boundaries.
+	SegmentWriter = trace.SegmentWriter
 	// Alarm is one detector report.
 	Alarm = core.Alarm
 	// Detector is an anomaly detector with multiple configurations.
@@ -131,6 +155,22 @@ func ReadPcap(r io.Reader) (*Trace, error) { return pcap.ReadTrace(r) }
 // WritePcap serializes a Trace as a classic pcap stream.
 func WritePcap(w io.Writer, tr *Trace) error { return pcap.WriteTrace(w, tr) }
 
+// Segments chops an in-order packet stream into sealed trace segments of the
+// given length in seconds (<= 0 selects the canonical batch boundary: one
+// unbounded segment sealed at end of stream), building each segment's index
+// with up to `workers` goroutines. It is the ingest substrate RunStream is
+// built on, exposed for callers that want sealed segments without the
+// labeling stages.
+func Segments(ctx context.Context, packets <-chan Packet, seconds float64, workers int) iter.Seq2[*Segment, error] {
+	return trace.Segments(ctx, packets, seconds, workers)
+}
+
+// SealTrace wraps a materialized trace as the canonical single sealed
+// segment — the batch boundary Run chops at.
+func SealTrace(ctx context.Context, tr *Trace, workers int) (*Segment, error) {
+	return trace.SealTrace(ctx, tr, workers)
+}
+
 // Pipeline is the ready-to-use MAWILab labeling pipeline.
 type Pipeline struct {
 	// Detectors is the ensemble to combine; defaults to
@@ -151,6 +191,47 @@ type Pipeline struct {
 	// the exact sequential reference path; any value produces
 	// byte-identical output — see Parallelism.
 	Workers int
+	// Stream configures the segmented ingest used by RunStream. The zero
+	// value is the canonical batch boundary — one unbounded segment, one
+	// window — under which RunStream reproduces Run bit-for-bit. Run and
+	// RunContext always chop at the canonical boundary regardless of this
+	// field; only RunStream honors it.
+	Stream StreamConfig
+}
+
+// StreamConfig parameterizes segmented streaming ingest (Pipeline.RunStream).
+type StreamConfig struct {
+	// SegmentSeconds is the sealed-segment length: segment k spans
+	// [k*S, (k+1)*S) seconds of stream time, and its index is built the
+	// moment it seals. <= 0 selects the canonical batch boundary (one
+	// unbounded segment, sealed at end of stream).
+	SegmentSeconds float64
+	// WindowSegments is the labeling window length in sealed segments:
+	// the estimator, combiner and labeler run over the alarms of the last
+	// WindowSegments segments each time the window closes. <= 0 means 1.
+	WindowSegments int
+	// WindowStride is how many segments the window advances per labeling:
+	// stride == WindowSegments gives tumbling windows, a smaller stride
+	// gives overlapping sliding windows. <= 0 (or a value larger than the
+	// window) means WindowSegments.
+	WindowStride int
+}
+
+// window returns the effective window length (>= 1).
+func (c StreamConfig) window() int {
+	if c.WindowSegments <= 0 {
+		return 1
+	}
+	return c.WindowSegments
+}
+
+// stride returns the effective stride in [1, window].
+func (c StreamConfig) stride() int {
+	w := c.window()
+	if c.WindowStride <= 0 || c.WindowStride > w {
+		return w
+	}
+	return c.WindowStride
 }
 
 // Parallelism sets the pipeline's worker count and returns p for chaining.
@@ -208,19 +289,217 @@ func (p *Pipeline) Run(tr *Trace) (*Labeling, error) {
 
 // RunContext is Run with cancellation: the detector fan-out and the
 // community-labeling stage stop scheduling new work once ctx is cancelled.
-// The trace is indexed exactly once (trace.BuildIndex on the pipeline's
-// worker pool); the one index feeds the detector fan-out, the similarity
-// estimator and the labeling heuristics.
+// It is a thin adapter over the streaming engine: the materialized trace is
+// chopped at the canonical batch boundary — one sealed segment spanning the
+// whole trace, indexed exactly once on the pipeline's worker pool — and
+// replayed through the same per-segment detect → per-window
+// estimate/combine/label path RunStream uses, as a single one-segment
+// window. Batch and stream therefore share one engine, and a stream chopped
+// at the canonical boundary reproduces this labeling bit-for-bit.
 func (p *Pipeline) RunContext(ctx context.Context, tr *Trace) (*Labeling, error) {
-	ix, err := trace.BuildIndex(ctx, tr, p.workers())
+	seg, err := trace.SealTrace(ctx, tr, p.workers())
 	if err != nil {
 		return nil, err
 	}
-	alarms, totals, err := detectors.DetectAllContext(ctx, ix, p.Detectors, p.workers())
+	var out *Labeling
+	if err := p.runSegments(ctx, oneSegment(seg), 1, 1, func(w *WindowLabeling) error {
+		out = w.Labeling
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("mawilab: canonical segment produced no window labeling")
+	}
+	return out, nil
+}
+
+// oneSegment is the canonical batch ingest: an iterator yielding exactly one
+// pre-sealed segment.
+func oneSegment(seg *Segment) iter.Seq2[*Segment, error] {
+	return func(yield func(*Segment, error) bool) {
+		yield(seg, nil)
+	}
+}
+
+// WindowLabeling is one streaming output: the labeling of one closed window
+// of sealed segments.
+type WindowLabeling struct {
+	// Window is the 0-based emission order of the window.
+	Window int
+	// Start and End bound the window's stream time in seconds — the first
+	// segment's Start to the last segment's End ([0,+Inf) for the
+	// canonical batch window).
+	Start, End float64
+	// Segments are the window's sealed segments, oldest first.
+	Segments []*Segment
+	// Trace holds the window's packets (the segments' packets
+	// concatenated; for a one-segment window it aliases the segment's
+	// trace). GroundTruthEval and WriteADMD take it where batch callers
+	// pass the day trace.
+	Trace *Trace
+	// Labeling is the full pipeline output for the window.
+	Labeling *Labeling
+}
+
+// Stream is a running segmented pipeline execution started by RunStream.
+type Stream struct {
+	windows chan *WindowLabeling
+	done    chan struct{}
+	err     error
+}
+
+// Windows returns the channel of window labelings, emitted as windows
+// close. The channel closes when the packet stream ends or the run fails;
+// consumers must drain it (or cancel the stream's context) and then check
+// Wait or Err for the terminal error.
+func (s *Stream) Windows() <-chan *WindowLabeling { return s.windows }
+
+// Wait blocks until the stream has finished — after Windows has closed —
+// and returns the terminal error, if any. Call it after draining Windows;
+// calling it first without cancelling the context can deadlock, since the
+// engine blocks handing a window to a consumer that never reads.
+func (s *Stream) Wait() error {
+	<-s.done
+	return s.err
+}
+
+// Err returns the terminal error without blocking: nil while the stream is
+// still running (or when it finished cleanly).
+func (s *Stream) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
+// RunStream executes the pipeline over an unbounded, timestamp-sorted
+// packet stream, the production ingest path: packets accumulate in an open
+// segment, each segment seals (and builds its index on the worker pool)
+// when the stream crosses a p.Stream.SegmentSeconds grid boundary, the
+// detector ensemble runs per sealed segment, and the similarity estimator,
+// combiner and labeler run over a sliding window of the last
+// p.Stream.WindowSegments segments, emitting a WindowLabeling each time the
+// window closes — instead of once per materialized day. The final partial
+// segment and window are sealed and labeled when the channel closes.
+//
+// Determinism: the same packet stream under the same StreamConfig yields
+// byte-identical window labelings at every worker count, and a stream
+// chopped at the canonical boundary (the zero StreamConfig) reproduces
+// Run's batch labeling bit-for-bit.
+func (p *Pipeline) RunStream(ctx context.Context, packets <-chan Packet) *Stream {
+	s := &Stream{windows: make(chan *WindowLabeling), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		defer close(s.windows)
+		segs := trace.Segments(ctx, packets, p.Stream.SegmentSeconds, p.workers())
+		s.err = p.runSegments(ctx, segs, p.Stream.window(), p.Stream.stride(), func(w *WindowLabeling) error {
+			select {
+			case s.windows <- w:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+	return s
+}
+
+// segmentRun pairs a sealed segment with its detector-ensemble output.
+type segmentRun struct {
+	seg    *Segment
+	alarms []Alarm
+}
+
+// runSegments is the one labeling engine behind both ingest paths: it pulls
+// sealed segments from segs, runs the detector ensemble per segment on the
+// worker pool, keeps a sliding window of the last `window` segments, and
+// each time the window fills runs estimate → combine → label over the
+// window's accumulated alarms and emits the labeling, then advances the
+// window by `stride` segments. When the segment stream ends with segments
+// no emitted window has covered, the final partial window is labeled too.
+// The first error — a detector failure, a cancelled context, an out-of-order
+// packet upstream — stops the engine and is returned unchanged.
+func (p *Pipeline) runSegments(ctx context.Context, segs iter.Seq2[*Segment, error], window, stride int, emit func(*WindowLabeling) error) error {
+	totals := make(map[string]int, len(p.Detectors))
+	for _, d := range p.Detectors {
+		totals[d.Name()] = d.NumConfigs()
+	}
+	var (
+		pending []segmentRun
+		fresh   int // segments not yet covered by an emitted window
+		wi      int
+	)
+	label := func() error {
+		w, err := p.labelWindow(ctx, wi, pending, totals)
+		if err != nil {
+			return err
+		}
+		wi++
+		return emit(w)
+	}
+	for seg, err := range segs {
+		if err != nil {
+			return err
+		}
+		alarms, _, err := detectors.DetectAllContext(ctx, seg.Index, p.Detectors, p.workers())
+		if err != nil {
+			return err
+		}
+		pending = append(pending, segmentRun{seg: seg, alarms: alarms})
+		fresh++
+		if len(pending) == window {
+			if err := label(); err != nil {
+				return err
+			}
+			pending = append(pending[:0:0], pending[stride:]...)
+			fresh = 0
+		}
+	}
+	if fresh > 0 && len(pending) > 0 {
+		return label()
+	}
+	return nil
+}
+
+// labelWindow runs estimate → combine → label over one window of sealed
+// segments. A one-segment window reuses the segment's trace and index
+// as-is — the canonical batch window is exactly the old whole-day path — a
+// multi-segment window concatenates the segments' packets (already in
+// stream order) and builds the window index on the pool.
+func (p *Pipeline) labelWindow(ctx context.Context, wi int, runs []segmentRun, totals map[string]int) (*WindowLabeling, error) {
+	first, last := runs[0].seg, runs[len(runs)-1].seg
+	wtr, ix := first.Trace, first.Index
+	if len(runs) > 1 {
+		n := 0
+		for _, r := range runs {
+			n += r.seg.Len()
+		}
+		wtr = &Trace{Name: fmt.Sprintf("window-%d", wi), Packets: make([]Packet, 0, n)}
+		for _, r := range runs {
+			wtr.Packets = append(wtr.Packets, r.seg.Trace.Packets...)
+		}
+		var err error
+		ix, err = trace.BuildIndex(ctx, wtr, p.workers())
+		if err != nil {
+			return nil, err
+		}
+	}
+	var alarms []Alarm
+	for _, r := range runs {
+		alarms = append(alarms, r.alarms...)
+	}
+	l, err := p.runAlarms(ctx, ix, alarms, totals)
 	if err != nil {
 		return nil, err
 	}
-	return p.runAlarms(ctx, ix, alarms, totals)
+	segs := make([]*Segment, len(runs))
+	for i, r := range runs {
+		segs[i] = r.seg
+	}
+	return &WindowLabeling{Window: wi, Start: first.Start, End: last.End, Segments: segs, Trace: wtr, Labeling: l}, nil
 }
 
 // RunAlarms executes the estimator+combiner+labeler on externally produced
@@ -231,13 +510,15 @@ func (p *Pipeline) RunAlarms(tr *Trace, alarms []Alarm, totals map[string]int) (
 	return p.RunAlarmsContext(context.Background(), tr, alarms, totals)
 }
 
-// RunAlarmsContext is RunAlarms with cancellation; see RunContext.
+// RunAlarmsContext is RunAlarms with cancellation; see RunContext. Like the
+// batch adapters it seals the trace as the canonical segment and resolves
+// the alarms against that segment's index.
 func (p *Pipeline) RunAlarmsContext(ctx context.Context, tr *Trace, alarms []Alarm, totals map[string]int) (*Labeling, error) {
-	ix, err := trace.BuildIndex(ctx, tr, p.workers())
+	seg, err := trace.SealTrace(ctx, tr, p.workers())
 	if err != nil {
 		return nil, err
 	}
-	return p.runAlarms(ctx, ix, alarms, totals)
+	return p.runAlarms(ctx, seg.Index, alarms, totals)
 }
 
 // runAlarms runs estimate → combine → label against one shared trace index.

@@ -1,0 +1,310 @@
+package mawilab
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"testing"
+)
+
+// streamTestDay regenerates the golden fixture's archive day — the same
+// trace TestPipelineGolden pins — so the streaming tests can compare against
+// the committed batch fixture.
+func streamTestDay(t *testing.T) *Trace {
+	t.Helper()
+	arch := NewArchive(42)
+	arch.Duration = 30
+	arch.BaseRate = 200
+	return arch.Day(Date(2004, 5, 10)).Trace
+}
+
+// replay fills a buffered channel with the trace's packets and closes it, so
+// stream consumers never need a producer goroutine.
+func replay(tr *Trace) <-chan Packet {
+	ch := make(chan Packet, tr.Len())
+	for _, p := range tr.Packets {
+		ch <- p
+	}
+	close(ch)
+	return ch
+}
+
+// drainStream collects every window labeling and the terminal error.
+func drainStream(s *Stream) ([]*WindowLabeling, error) {
+	var out []*WindowLabeling
+	for w := range s.Windows() {
+		out = append(out, w)
+	}
+	return out, s.Wait()
+}
+
+func csvDigest(t *testing.T, l *Labeling) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestStreamMatchesBatch is the api_redesign acceptance gate: RunStream over
+// a packet stream chopped at the canonical batch boundary (the zero
+// StreamConfig — one unbounded segment, one window) reproduces the committed
+// batch golden fixture byte-for-byte at every worker count. No -update path
+// exists here on purpose: this test consumes the fixture TestPipelineGolden
+// owns, so stream output is only allowed to move when batch output moves.
+func TestStreamMatchesBatch(t *testing.T) {
+	data, err := os.ReadFile(pipelineGoldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run TestPipelineGolden -update first): %v", err)
+	}
+	var want pipelineGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("%s: %v", pipelineGoldenPath, err)
+	}
+
+	day := streamTestDay(t)
+	if day.Digest() != want.TraceSHA256 {
+		t.Fatalf("generated day drifted from fixture: %s..., want %s...", day.Digest()[:12], want.TraceSHA256[:12])
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPipeline().Parallelism(workers) // zero StreamConfig: canonical boundary
+		windows, err := drainStream(p.RunStream(context.Background(), replay(day)))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(windows) != 1 {
+			t.Fatalf("workers=%d: canonical boundary emitted %d windows, want 1", workers, len(windows))
+		}
+		w := windows[0]
+		if w.Start != 0 || !math.IsInf(w.End, 1) {
+			t.Errorf("workers=%d: canonical window spans [%g,%g), want [0,+Inf)", workers, w.Start, w.End)
+		}
+		if w.Trace.Digest() != want.TraceSHA256 {
+			t.Errorf("workers=%d: window trace digest differs from the ingested day", workers)
+		}
+		l := w.Labeling
+		if len(l.Alarms) != want.Alarms {
+			t.Errorf("workers=%d: %d alarms, want %d", workers, len(l.Alarms), want.Alarms)
+		}
+		if len(l.Result.Communities) != want.Communities {
+			t.Errorf("workers=%d: %d communities, want %d", workers, len(l.Result.Communities), want.Communities)
+		}
+		if len(l.Reports) != len(want.Labels) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(l.Reports), len(want.Labels))
+		}
+		for i, rep := range l.Reports {
+			if rep.Label.String() != want.Labels[i] {
+				t.Errorf("workers=%d: community %d labeled %s, want %s", workers, i, rep.Label, want.Labels[i])
+			}
+		}
+		if got := csvDigest(t, l); got != want.CSVSHA256 {
+			t.Errorf("workers=%d: stream CSV digest %s..., want batch fixture %s...", workers, got[:12], want.CSVSHA256[:12])
+		}
+	}
+}
+
+// TestStreamDeterminismMatrix pins the worker-count invariance of the
+// segmented path: for every segment length, the concatenated window CSVs are
+// byte-identical to the sequential workers=1 reference.
+func TestStreamDeterminismMatrix(t *testing.T) {
+	day := streamTestDay(t)
+	for _, segSeconds := range []float64{5, 10, 30} {
+		var ref []byte
+		var refWindows int
+		for _, workers := range []int{1, 2, 4, 8} {
+			p := NewPipeline().Parallelism(workers)
+			p.Stream = StreamConfig{SegmentSeconds: segSeconds, WindowSegments: 2, WindowStride: 1}
+			windows, err := drainStream(p.RunStream(context.Background(), replay(day)))
+			if err != nil {
+				t.Fatalf("segment=%gs workers=%d: %v", segSeconds, workers, err)
+			}
+			if len(windows) == 0 {
+				t.Fatalf("segment=%gs workers=%d: no windows emitted", segSeconds, workers)
+			}
+			var all bytes.Buffer
+			for _, w := range windows {
+				if err := w.Labeling.WriteCSV(&all); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if workers == 1 {
+				ref = append([]byte(nil), all.Bytes()...)
+				refWindows = len(windows)
+				continue
+			}
+			if len(windows) != refWindows {
+				t.Errorf("segment=%gs workers=%d: %d windows, sequential reference emitted %d",
+					segSeconds, workers, len(windows), refWindows)
+			}
+			if !bytes.Equal(all.Bytes(), ref) {
+				t.Errorf("segment=%gs workers=%d: window CSVs differ from the sequential reference", segSeconds, workers)
+			}
+		}
+	}
+}
+
+// TestStreamWindowSemantics checks the sliding-window mechanics: tumbling
+// windows partition the sealed segments in order, stream time is monotonic,
+// and the trailing segments no full window covered are labeled as a final
+// partial window at end of stream.
+func TestStreamWindowSemantics(t *testing.T) {
+	day := streamTestDay(t)
+
+	// Count the sealed segments the same chop produces.
+	nsegs := 0
+	for seg, err := range Segments(context.Background(), replay(day), 5, 1) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.Len() == 0 {
+			t.Fatalf("segment %d sealed empty", seg.Seq)
+		}
+		nsegs++
+	}
+	if nsegs < 3 {
+		t.Fatalf("test day chopped into %d segments, need >= 3 for a partial window", nsegs)
+	}
+
+	const window = 4 // tumbling: stride defaults to window
+	p := NewPipeline()
+	p.Stream = StreamConfig{SegmentSeconds: 5, WindowSegments: window}
+	windows, err := drainStream(p.RunStream(context.Background(), replay(day)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWindows := (nsegs + window - 1) / window
+	if len(windows) != wantWindows {
+		t.Fatalf("windows = %d, want %d over %d segments", len(windows), wantWindows, nsegs)
+	}
+	seen := 0
+	for i, w := range windows {
+		if w.Window != i {
+			t.Errorf("window %d numbered %d", i, w.Window)
+		}
+		if len(w.Segments) == 0 || len(w.Segments) > window {
+			t.Fatalf("window %d carries %d segments", i, len(w.Segments))
+		}
+		if w.Start != w.Segments[0].Start || w.End != w.Segments[len(w.Segments)-1].End {
+			t.Errorf("window %d spans [%g,%g), segments span [%g,%g)",
+				i, w.Start, w.End, w.Segments[0].Start, w.Segments[len(w.Segments)-1].End)
+		}
+		if i > 0 && w.Start < windows[i-1].End {
+			t.Errorf("tumbling window %d starts at %g before previous end %g", i, w.Start, windows[i-1].End)
+		}
+		npkts := 0
+		for _, seg := range w.Segments {
+			if seg.Seq != seen {
+				t.Errorf("window %d: segment seq %d, want %d (in-order partition)", i, seg.Seq, seen)
+			}
+			seen++
+			npkts += seg.Len()
+		}
+		if w.Trace.Len() != npkts {
+			t.Errorf("window %d trace has %d packets, segments carry %d", i, w.Trace.Len(), npkts)
+		}
+	}
+	if seen != nsegs {
+		t.Errorf("windows covered %d segments, stream sealed %d", seen, nsegs)
+	}
+	if rem := nsegs % window; rem != 0 {
+		if last := windows[len(windows)-1]; len(last.Segments) != rem {
+			t.Errorf("final partial window carries %d segments, want %d", len(last.Segments), rem)
+		}
+	}
+}
+
+// TestStreamCancelMidStream cancels the context after the first window and
+// requires the stream to terminate with context.Canceled: Windows closes and
+// Wait/Err report the cancellation.
+func TestStreamCancelMidStream(t *testing.T) {
+	day := streamTestDay(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Unbuffered producer: after cancel, no packet already queued can let
+	// the engine run ahead to a clean end of stream.
+	ch := make(chan Packet)
+	go func() {
+		defer close(ch)
+		for _, p := range day.Packets {
+			select {
+			case ch <- p:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	p := NewPipeline()
+	p.Stream = StreamConfig{SegmentSeconds: 5}
+	s := p.RunStream(ctx, ch)
+	first, ok := <-s.Windows()
+	if !ok {
+		t.Fatal("stream produced no window before cancellation")
+	}
+	if first.Window != 0 {
+		t.Fatalf("first window numbered %d", first.Window)
+	}
+	cancel()
+	for range s.Windows() { // drain until the engine notices the cancel
+	}
+	if err := s.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if err := s.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamCancelledBeforeStart: a stream started under an already-cancelled
+// context emits nothing and fails with context.Canceled.
+func TestStreamCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewPipeline().RunStream(ctx, make(chan Packet)) // open, empty channel
+	windows, err := drainStream(s)
+	if len(windows) != 0 {
+		t.Errorf("cancelled stream emitted %d windows", len(windows))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamOutOfOrderFails: segment streams require sorted arrival; an
+// out-of-order packet terminates the stream with an error instead of being
+// silently re-sorted.
+func TestStreamOutOfOrderFails(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Packet{TS: 2_000_000})
+	tr.Append(Packet{TS: 1_000_000})
+	s := NewPipeline().RunStream(context.Background(), replay(tr))
+	windows, err := drainStream(s)
+	if len(windows) != 0 {
+		t.Errorf("out-of-order stream emitted %d windows", len(windows))
+	}
+	if err == nil {
+		t.Fatal("out-of-order stream did not surface an error")
+	}
+}
+
+// TestStreamErrNonBlocking: Err returns nil while the stream is running.
+func TestStreamErrNonBlocking(t *testing.T) {
+	ch := make(chan Packet) // never fed: the stream stays running
+	s := NewPipeline().RunStream(context.Background(), ch)
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err on a running stream = %v, want nil", err)
+	}
+	close(ch) // empty stream: no windows, clean end
+	if windows, err := drainStream(s); err != nil || len(windows) != 0 {
+		t.Fatalf("empty stream = (%d windows, %v), want (0, nil)", len(windows), err)
+	}
+}

@@ -26,7 +26,7 @@ FUZZTIME ?= 10s
 # can't push a benchmark past the threshold.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-gate bench-baseline cover fmt vet fuzz check
+.PHONY: all build test race bench bench-gate bench-baseline cover fmt vet fuzz serve-smoke check
 
 all: build test
 
@@ -42,9 +42,10 @@ test:
 # package, since the concurrency lives under internal/ — in particular
 # ./internal/trace (segment sealing + index builds), ./internal/mawigen
 # (windowed background generation + injection fan-out), ./internal/parallel
-# (the pool itself), ./internal/graphx (partition-parallel Louvain) and
-# ./internal/simgraph (keyed-shard similarity graph), all matched by
-# ./internal/... below.
+# (the pool itself), ./internal/graphx (partition-parallel Louvain),
+# ./internal/simgraph (keyed-shard similarity graph) and ./internal/serve
+# (the daemon's engine admission/drain paths, lock-free histograms and the
+# graceful-shutdown tests), all matched by ./internal/... below.
 race:
 	$(GO) test -race ./internal/... .
 
@@ -100,4 +101,12 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseIPv4$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pcap -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME)
 
-check: build vet fmt test fuzz
+# Black-box daemon smoke: build the real mawilabd binary, boot it on a
+# random port, upload the golden fixture day over HTTP, assert the served
+# CSV sha256 matches testdata/pipeline_golden.json, scrape /metrics, and
+# SIGTERM it expecting a graceful drain and exit 0. The in-process HTTP
+# tests live in ./internal/serve; this exercises the shipped binary.
+serve-smoke:
+	$(GO) test ./cmd/mawilabd -run '^TestServeSmoke$$' -v -count=1
+
+check: build vet fmt test fuzz serve-smoke

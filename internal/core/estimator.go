@@ -116,22 +116,13 @@ func (r *Result) Extractor() *Extractor { return r.extractor }
 // downstream stages (labeling, heuristics) reuse it instead of rebuilding.
 func (r *Result) Index() *trace.Index { return r.extractor.Index() }
 
-// Estimate runs the similarity estimator (§2.1) over the alarms reported on
-// tr: extract each alarm's traffic, weight alarm pairs by traffic
-// similarity, and cluster the resulting graph into communities.
-//
-// Deprecated: the segment API is the entry point — estimation resolves
-// alarms against an index the caller already holds (a sealed segment's, a
-// streaming window's, or trace.SealTrace's canonical whole-trace index),
-// never against a raw trace. Use EstimateContext with that index so it is
-// shared with detection and labeling instead of being rebuilt per call.
-func Estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, error) {
-	return EstimateContext(context.Background(), trace.NewIndex(tr), alarms, cfg, 1)
-}
-
-// EstimateContext is Estimate with cancellation and a bounded worker pool,
-// resolving all traffic against the shared trace.Index (the same index the
-// detector fan-out consumed — built once per trace). The per-alarm traffic
+// EstimateContext is the estimation entry point: it runs the similarity
+// estimator (§2.1) over the reported alarms — extract each alarm's traffic,
+// weight alarm pairs by traffic similarity, and cluster the resulting graph
+// into communities — resolving all traffic against the shared trace.Index
+// the caller already holds (a sealed segment's, a streaming window's, or
+// trace.SealTrace's canonical whole-trace index; the same index the
+// detector fan-out consumed, built once per trace). The per-alarm traffic
 // extraction, the similarity-graph build (sharded in internal/simgraph),
 // the Louvain community mining (partition-parallel local-move proposals
 // with a sequential index-ordered commit, see graphx.LouvainContext) and

@@ -2,36 +2,17 @@ package core
 
 import (
 	"context"
-	"reflect"
 	"testing"
 
 	"mawilab/internal/trace"
 )
 
 // estimate is the tests' shim over the index-taking EstimateContext — the
-// segment-era entry point. The deprecated trace-taking Estimate wrapper is
-// exercised once, in TestDeprecatedEstimateMatchesIndexForm.
+// one estimation entry point since the deprecated trace-taking Estimate
+// wrapper was retired: build the trace's canonical index, estimate against
+// it sequentially.
 func estimate(tr *trace.Trace, alarms []Alarm, cfg EstimatorConfig) (*Result, error) {
 	return EstimateContext(context.Background(), trace.NewIndex(tr), alarms, cfg, 1)
-}
-
-// TestDeprecatedEstimateMatchesIndexForm pins the compatibility contract of
-// the deprecated wrapper: estimate(tr, ...) is exactly EstimateContext over
-// the trace's canonical index.
-func TestDeprecatedEstimateMatchesIndexForm(t *testing.T) {
-	tr := twoEventTrace()
-	alarms := []Alarm{scanAlarm("hough", 0), pingAlarm("kl", 0)}
-	old, err := Estimate(tr, alarms, DefaultEstimatorConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	idx, err := estimate(tr, alarms, DefaultEstimatorConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(old.Graph, idx.Graph) || !reflect.DeepEqual(old.Communities, idx.Communities) {
-		t.Fatal("deprecated Estimate wrapper diverged from the index-taking form")
-	}
 }
 
 // twoEventTrace builds a trace with two disjoint anomalies plus background:

@@ -69,24 +69,15 @@ type Detector interface {
 	Detect(ix *trace.Index, config int) ([]core.Alarm, error)
 }
 
-// DetectAll runs every configuration of every detector sequentially over a
-// freshly built index and concatenates the alarms — the "12 outputs of all
-// the configurations" fed to the similarity estimator in the paper's
-// experiments. It also returns the per-detector configuration totals needed
-// for confidence scores.
+// DetectAllContext is the detection entry point: it runs every
+// configuration of every detector over one shared trace.Index — a sealed
+// segment's (seg.Index from trace.SegmentWriter/trace.Segments) or a whole
+// trace's canonical index (trace.SealTrace) — and concatenates the alarms,
+// the "12 outputs of all the configurations" fed to the similarity
+// estimator in the paper's experiments. It also returns the per-detector
+// configuration totals needed for confidence scores.
 //
-// Deprecated: the segment API is the entry point — detection consumes a
-// sealed segment's (or a whole trace's canonical) index, never a raw trace.
-// Use DetectAllContext with the index you already hold (seg.Index from
-// trace.SegmentWriter/trace.Segments, or trace.SealTrace for a materialized
-// trace) so the one index is shared with the estimator and labeling stages
-// instead of being rebuilt per call.
-func DetectAll(tr *trace.Trace, dets []Detector) ([]core.Alarm, map[string]int, error) {
-	return DetectAllContext(context.Background(), trace.NewIndex(tr), dets, 1)
-}
-
-// DetectAllContext is DetectAll with cancellation and a bounded worker pool:
-// the (detector, config) runs are independent, so they fan out across up to
+// The (detector, config) runs are independent, so they fan out across up to
 // `workers` goroutines (<= 1 runs inline), all sharing the one trace.Index.
 // Each run's alarms land in a slot keyed by (detector index, config index)
 // and are concatenated in that order, so the output is byte-identical to the

@@ -1,6 +1,7 @@
 package detectors
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestDetectAll(t *testing.T) {
 		&fakeDetector{name: "a", configs: 3},
 		&fakeDetector{name: "b", configs: 2},
 	}
-	alarms, totals, err := DetectAll(&trace.Trace{}, dets)
+	alarms, totals, err := DetectAllContext(context.Background(), trace.NewIndex(&trace.Trace{}), dets, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestDetectAll(t *testing.T) {
 
 func TestDetectAllPropagatesError(t *testing.T) {
 	dets := []Detector{&fakeDetector{name: "bad", configs: 1, fail: true}}
-	if _, _, err := DetectAll(&trace.Trace{}, dets); err == nil {
+	if _, _, err := DetectAllContext(context.Background(), trace.NewIndex(&trace.Trace{}), dets, 1); err == nil {
 		t.Error("error not propagated")
 	}
 }

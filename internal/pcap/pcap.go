@@ -177,7 +177,7 @@ type Reader struct {
 	r         io.Reader
 	order     binary.ByteOrder
 	nanos     bool
-	baseTS    int64 // first packet's absolute timestamp in micros
+	baseTS    int64 // second boundary of the first packet, absolute micros
 	haveBase  bool
 	recordBuf []byte
 }
@@ -215,8 +215,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 }
 
 // Next returns the next packet, or io.EOF at the end of the stream.
-// Timestamps are rebased so the first packet is at TS=0, matching the
-// trace model's "microseconds since trace start".
+// Timestamps are rebased to the whole-second boundary containing the first
+// packet, matching the trace model's "microseconds since trace start":
+// capture slots begin on second boundaries (MAWI's daily traces start at a
+// fixed wall-clock time), so the first packet's sub-second arrival offset
+// is genuine signal and survives the round trip, while the absolute epoch
+// does not leak into the relative timeline.
 func (r *Reader) Next() (trace.Packet, error) {
 	var p trace.Packet
 	hdr := make([]byte, recordHeaderLen)
@@ -233,7 +237,7 @@ func (r *Reader) Next() (trace.Packet, error) {
 	}
 	abs := sec*1e6 + sub
 	if !r.haveBase {
-		r.baseTS = abs
+		r.baseTS = sec * 1e6 // second boundary, keeping sub-second offset
 		r.haveBase = true
 	}
 	caplen := int(r.order.Uint32(hdr[8:]))

@@ -95,8 +95,8 @@ func TestRoundTripProperty(t *testing.T) {
 }
 
 func TestTimestampRebase(t *testing.T) {
-	// Write absolute timestamps starting at an arbitrary epoch; the reader
-	// rebases to zero.
+	// Write absolute timestamps starting at an arbitrary epoch second; the
+	// reader rebases that second boundary to zero.
 	in := &trace.Trace{}
 	in.Append(trace.Packet{TS: 5e6, Proto: trace.TCP, Len: 40})
 	in.Append(trace.Packet{TS: 7e6, Proto: trace.TCP, Len: 40})
@@ -113,6 +113,32 @@ func TestTimestampRebase(t *testing.T) {
 	}
 	if out.Packets[1].TS != 2e6 {
 		t.Errorf("second packet TS = %d, want 2e6", out.Packets[1].TS)
+	}
+}
+
+// TestTimestampRebaseKeepsSubSecondOffset pins the boundary choice: the
+// rebase snaps to the first packet's *second*, not the packet itself, so a
+// trace whose first packet arrives mid-second round-trips with its arrival
+// offset intact. The daemon's cache keys (trace.Digest over packet bytes)
+// and the labeling itself depend on this — time-binned detectors are not
+// shift-invariant.
+func TestTimestampRebaseKeepsSubSecondOffset(t *testing.T) {
+	in := &trace.Trace{}
+	in.Append(trace.Packet{TS: 153_883, Proto: trace.TCP, Len: 40})
+	in.Append(trace.Packet{TS: 1_156_221, Proto: trace.TCP, Len: 40})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Packets[0].TS != 153_883 || out.Packets[1].TS != 1_156_221 {
+		t.Errorf("sub-second offsets lost: %d, %d", out.Packets[0].TS, out.Packets[1].TS)
+	}
+	if in.Digest() != out.Digest() {
+		t.Error("round trip changed the trace digest")
 	}
 }
 

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitState polls a job until it reaches a terminal state.
+func waitState(t *testing.T, e *Engine, id string, want JobState) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := e.Job(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if j.State == want {
+			return j
+		}
+		if j.State == JobDone || j.State == JobFailed {
+			t.Fatalf("job %s reached %s, want %s (err=%q)", id, j.State, want, j.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Job{}
+}
+
+func TestEngineAdmissionControl(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	e := NewEngine(1, 1, 0, func(_ context.Context, j *Job, _ any) error {
+		started <- j.ID
+		<-release
+		return nil
+	})
+
+	j1, err := e.Enqueue("d1", "t1", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // j1 is running, worker occupied
+
+	j2, err := e.Enqueue("d2", "t2", 1, nil)
+	if err != nil {
+		t.Fatalf("second job should queue: %v", err)
+	}
+	if e.Depth() != 1 {
+		t.Errorf("queue depth = %d, want 1", e.Depth())
+	}
+
+	// The queue (depth 1) is full: admission control rejects.
+	if _, err := e.Enqueue("d3", "t3", 1, nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow = %v, want ErrQueueFull", err)
+	}
+
+	// Re-enqueueing an active digest dedups onto the existing job.
+	dup, err := e.Enqueue("d2", "t2", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != j2.ID {
+		t.Errorf("dedup returned %s, want %s", dup.ID, j2.ID)
+	}
+
+	close(release)
+	waitState(t, e, j1.ID, JobDone)
+	waitState(t, e, j2.ID, JobDone)
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineJobTimeout(t *testing.T) {
+	e := NewEngine(1, 1, 20*time.Millisecond, func(ctx context.Context, _ *Job, _ any) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	j, err := e.Enqueue("d1", "t", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, e, j.ID, JobFailed)
+	if got.Error == "" || got.FinishedAt.IsZero() {
+		t.Errorf("failed job missing error/timestamps: %+v", got)
+	}
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDrain pins the graceful-shutdown contract: draining rejects new
+// jobs but runs every accepted one — queued included — to completion.
+func TestEngineDrain(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	e := NewEngine(1, 4, 0, func(_ context.Context, j *Job, _ any) error {
+		started <- j.ID
+		<-release
+		return nil
+	})
+	j1, _ := e.Enqueue("d1", "t", 1, nil)
+	<-started
+	j2, err := e.Enqueue("d2", "t", 1, nil) // sits in the queue
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- e.Drain(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !e.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.Enqueue("d3", "t", 1, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("enqueue while draining = %v, want ErrDraining", err)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range []string{j1.ID, j2.ID} {
+		j, _ := e.Job(id)
+		if j.State != JobDone {
+			t.Errorf("job %s = %s after drain, want done", id, j.State)
+		}
+	}
+	// Drain is idempotent.
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDrainDeadline(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	e := NewEngine(1, 1, 0, func(_ context.Context, _ *Job, _ any) error {
+		close(started)
+		<-release
+		return nil
+	})
+	if _, err := e.Enqueue("d1", "t", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := e.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with stuck job = %v, want deadline exceeded", err)
+	}
+	close(release)
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+// metrics.go is a self-contained, dependency-free metrics substrate in the
+// expvar spirit: atomic counters, gauges and fixed-bucket histograms that a
+// Registry renders in the Prometheus text exposition format. mawilabd
+// scrapes are plain GETs of /metrics; nothing here imports anything beyond
+// the standard library.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds, Prometheus's
+// classic spread: 1ms to 10s, then +Inf implicitly.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into fixed cumulative buckets and tracks
+// their sum; all operations are lock-free and safe for concurrent use.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	count   atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	return &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the average observation, or 0 before the first.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// CounterVec is a family of counters keyed by one label's value.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	m     map[string]*Counter
+}
+
+// With returns the child counter for the label value, creating it on first
+// use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[value]
+	if !ok {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+// HistogramVec is a family of histograms keyed by one label's value.
+type HistogramVec struct {
+	label   string
+	buckets []float64
+	mu      sync.Mutex
+	m       map[string]*Histogram
+}
+
+// With returns the child histogram for the label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[value]
+	if !ok {
+		h = newHistogram(v.buckets)
+		v.m[value] = h
+	}
+	return h
+}
+
+// metric is one registered family, renderable in exposition format.
+type metric struct {
+	name, help, typ string
+	write           func(w io.Writer, name string)
+}
+
+// Registry holds metric families in registration order and renders them in
+// the Prometheus text exposition format (version 0.0.4) — the format every
+// Prometheus-compatible scraper, including promtool and victoria-metrics,
+// ingests.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter. Counter names end in _total
+// by convention.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(metric{name: name, help: help, typ: "counter", write: func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, c.Value())
+	}})
+	return c
+}
+
+// CounterVec registers and returns a counter family keyed by label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{label: label, m: make(map[string]*Counter)}
+	r.register(metric{name: name, help: help, typ: "counter", write: func(w io.Writer, n string) {
+		for _, value := range v.sortedKeys() {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", n, v.label, value, v.m[value].Value())
+		}
+	}})
+	return v
+}
+
+func (v *CounterVec) sortedKeys() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(metric{name: name, help: help, typ: "gauge", write: func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, g.Value())
+	}})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time — the fit
+// for instantaneous facts the owner already tracks, like a queue's length.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) {
+	r.register(metric{name: name, help: help, typ: "gauge", write: func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, f())
+	}})
+}
+
+// Histogram registers and returns a histogram with the given bucket upper
+// bounds in ascending order (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(metric{name: name, help: help, typ: "histogram", write: func(w io.Writer, n string) {
+		writeHistogram(w, n, "", "", h)
+	}})
+	return h
+}
+
+// HistogramVec registers and returns a histogram family keyed by label.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	v := &HistogramVec{label: label, buckets: buckets, m: make(map[string]*Histogram)}
+	r.register(metric{name: name, help: help, typ: "histogram", write: func(w io.Writer, n string) {
+		for _, value := range v.sortedKeys() {
+			writeHistogram(w, n, v.label, value, v.m[value])
+		}
+	}})
+	return v
+}
+
+func (v *HistogramVec) sortedKeys() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeHistogram renders one histogram child: cumulative _bucket series
+// (with the mandatory +Inf), then _sum and _count.
+func writeHistogram(w io.Writer, name, label, value string, h *Histogram) {
+	pre := ""
+	if label != "" {
+		pre = fmt.Sprintf("%s=%q,", label, value)
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, pre, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, pre, cum)
+	suffix := ""
+	if label != "" {
+		suffix = fmt.Sprintf("{%s=%q}", label, value)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders every registered family in registration order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	cw := &countingWriter{w: w}
+	for _, m := range metrics {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		m.write(cw, m.name)
+	}
+	return cw.n, cw.err
+}
+
+// ServeHTTP exposes the registry as a Prometheus scrape target.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WriteTo(w)
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StoredCommunity is one labeled community in an entry's metadata — the
+// unit the community-query endpoint serves without touching the heavy
+// labeling objects.
+type StoredCommunity struct {
+	Community int     `json:"community"`
+	Label     string  `json:"label"`
+	Heuristic string  `json:"heuristic"`
+	Category  string  `json:"category"`
+	Packets   int     `json:"packets"`
+	Flows     int     `json:"flows"`
+	Score     float64 `json:"score"`
+}
+
+// EntryMeta is the always-resident summary of one labeled trace, persisted
+// as meta.json next to the encoded labels.
+type EntryMeta struct {
+	// Digest is the trace.Digest the entry is keyed by.
+	Digest string `json:"digest"`
+	// Trace is the trace name supplied at upload time.
+	Trace string `json:"trace"`
+	// Packets is the trace length.
+	Packets int `json:"packets"`
+	// Alarms is the detector-ensemble output size.
+	Alarms int `json:"alarms"`
+	// Anomalous counts communities labeled anomalous.
+	Anomalous int `json:"anomalous"`
+	// Communities summarizes every community report.
+	Communities []StoredCommunity `json:"communities"`
+	// CSVSHA256 is the hex digest of the stored CSV encoding — the value
+	// the determinism contract pins against the batch CLI output.
+	CSVSHA256 string `json:"csv_sha256"`
+	// LabeledAt is when the labeling job finished.
+	LabeledAt time.Time `json:"labeled_at"`
+	// Workers is the pipeline worker count that produced the labeling
+	// (informational: every count yields the same bytes).
+	Workers int `json:"workers"`
+}
+
+// entryBytes is the evictable heavy part of an entry: the encoded label
+// documents. Metadata stays resident; these fall out of the LRU and are
+// re-read from disk on demand.
+type entryBytes struct {
+	csv  []byte
+	admd []byte
+}
+
+// Store is the digest-keyed label store: every completed labeling is
+// persisted under dir/<digest>/ (meta.json, labels.csv, labels.admd) with
+// crash-safe tmp-rename writes, metadata for every entry stays resident,
+// and an LRU bounds how many entries' encoded bytes are held in memory.
+// A Store is safe for concurrent use.
+type Store struct {
+	dir         string
+	maxResident int
+
+	mu       sync.Mutex
+	meta     map[string]*EntryMeta
+	resident map[string]*entryBytes
+	order    []string // LRU order, oldest first
+
+	// DiskReads counts label reads that missed the resident LRU and went
+	// to disk; nil disables. Assigned once before first use.
+	DiskReads *Counter
+}
+
+// tmpPrefix marks in-progress entry writes; leftovers are crash debris and
+// are swept on open.
+const tmpPrefix = ".tmp-"
+
+// OpenStore opens (creating if needed) the store rooted at dir, recovers
+// every complete entry already on disk, and sweeps partial tmp writes left
+// by a crash. maxResident bounds the entries whose encoded bytes stay in
+// memory (<= 0 means 8).
+func OpenStore(dir string, maxResident int) (*Store, error) {
+	if maxResident <= 0 {
+		maxResident = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	s := &Store{
+		dir:         dir,
+		maxResident: maxResident,
+		meta:        make(map[string]*EntryMeta),
+		resident:    make(map[string]*entryBytes),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			// A write that never reached its rename: remove the debris; the
+			// entry was never visible, so nothing is lost.
+			os.RemoveAll(filepath.Join(dir, e.Name()))
+			continue
+		}
+		meta, err := readMeta(filepath.Join(dir, e.Name(), "meta.json"))
+		if err != nil || meta.Digest != e.Name() {
+			continue // not a valid entry; leave it alone but don't serve it
+		}
+		s.meta[meta.Digest] = meta
+	}
+	return s, nil
+}
+
+func readMeta(path string) (*EntryMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m EntryMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Has reports whether the digest has a completed entry — the cache-hit
+// check admission control runs before scheduling any recompute.
+func (s *Store) Has(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.meta[digest]
+	return ok
+}
+
+// Meta returns the entry summary for a digest.
+func (s *Store) Meta(digest string) (*EntryMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.meta[digest]
+	return m, ok
+}
+
+// List returns every entry's metadata sorted by digest.
+func (s *Store) List() []*EntryMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*EntryMeta, 0, len(s.meta))
+	for _, m := range s.meta {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out
+}
+
+// Len returns the number of completed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.meta)
+}
+
+// Put persists one labeling atomically: every file is written into a
+// tmp-prefixed sibling directory which is then renamed into place, so a
+// reader (or a crash) can never observe a partial entry. Re-putting an
+// existing digest is an idempotent no-op.
+func (s *Store) Put(meta *EntryMeta, csv, admd []byte) error {
+	if meta.Digest == "" {
+		return fmt.Errorf("serve: store: empty digest")
+	}
+	s.mu.Lock()
+	_, exists := s.meta[meta.Digest]
+	s.mu.Unlock()
+	if exists {
+		return nil
+	}
+
+	tmp, err := os.MkdirTemp(s.dir, tmpPrefix+meta.Digest+"-")
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	metaJSON, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{"labels.csv", csv},
+		{"labels.admd", admd},
+		{"meta.json", append(metaJSON, '\n')},
+	} {
+		if err := os.WriteFile(filepath.Join(tmp, f.name), f.data, 0o644); err != nil {
+			return fmt.Errorf("serve: store: %w", err)
+		}
+	}
+	final := filepath.Join(s.dir, meta.Digest)
+	if err := os.Rename(tmp, final); err != nil {
+		// A concurrent Put of the same digest can win the rename; the entry
+		// is then complete and identical (labelings are deterministic).
+		if _, statErr := os.Stat(filepath.Join(final, "meta.json")); statErr != nil {
+			return fmt.Errorf("serve: store: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.meta[meta.Digest]; !ok {
+		s.meta[meta.Digest] = meta
+		s.admit(meta.Digest, &entryBytes{csv: csv, admd: admd})
+	}
+	return nil
+}
+
+// Labels returns the encoded labeling for a digest in the given format
+// ("csv" or "admd"): from the resident LRU when hot, re-read from disk and
+// re-admitted when evicted. The second result is false for unknown digests.
+func (s *Store) Labels(digest, format string) ([]byte, bool, error) {
+	s.mu.Lock()
+	if _, ok := s.meta[digest]; !ok {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	if b, ok := s.resident[digest]; ok {
+		s.touch(digest)
+		data := b.csv
+		if format == "admd" {
+			data = b.admd
+		}
+		s.mu.Unlock()
+		return data, true, nil
+	}
+	s.mu.Unlock()
+
+	if s.DiskReads != nil {
+		s.DiskReads.Inc()
+	}
+	csv, err := os.ReadFile(filepath.Join(s.dir, digest, "labels.csv"))
+	if err != nil {
+		return nil, true, fmt.Errorf("serve: store: %w", err)
+	}
+	admd, err := os.ReadFile(filepath.Join(s.dir, digest, "labels.admd"))
+	if err != nil {
+		return nil, true, fmt.Errorf("serve: store: %w", err)
+	}
+	s.mu.Lock()
+	s.admit(digest, &entryBytes{csv: csv, admd: admd})
+	s.mu.Unlock()
+	if format == "admd" {
+		return admd, true, nil
+	}
+	return csv, true, nil
+}
+
+// admit inserts or refreshes a resident entry and evicts the oldest beyond
+// the LRU bound. Caller holds s.mu.
+func (s *Store) admit(digest string, b *entryBytes) {
+	if _, ok := s.resident[digest]; ok {
+		s.resident[digest] = b
+		s.touch(digest)
+		return
+	}
+	s.resident[digest] = b
+	s.order = append(s.order, digest)
+	for len(s.resident) > s.maxResident {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.resident, oldest)
+	}
+}
+
+// touch moves a digest to the back of the LRU order. Caller holds s.mu.
+func (s *Store) touch(digest string) {
+	for i, d := range s.order {
+		if d == digest {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), digest)
+			return
+		}
+	}
+}
+
+// Resident returns how many entries' bytes are currently in memory.
+func (s *Store) Resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.resident)
+}

@@ -1,0 +1,71 @@
+package wirev1
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mawilab/internal/core"
+)
+
+func TestRuleFieldsParsing(t *testing.T) {
+	src, sport, dst, dport := ruleFields("<1.2.3.4, 80, *, 443>")
+	if src != "1.2.3.4" || sport != "80" || dst != "*" || dport != "443" {
+		t.Errorf("ruleFields = %s/%s/%s/%s", src, sport, dst, dport)
+	}
+	// Malformed rules degrade to wildcards.
+	src, _, _, _ = ruleFields("garbage")
+	if src != "*" {
+		t.Errorf("malformed rule src = %q", src)
+	}
+}
+
+// TestWriteCSVLayout pins the v1 CSV byte layout: header row, field order,
+// wildcard degradation and the 4-decimal score format.
+func TestWriteCSVLayout(t *testing.T) {
+	reports := []core.CommunityReport{
+		{Community: 0, Label: core.Anomalous, Packets: 12, Flows: 3,
+			Decision: core.Decision{Score: 0.75}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want header + 1 row", len(lines))
+	}
+	if lines[0] != CSVHeader {
+		t.Errorf("header = %q, want %q", lines[0], CSVHeader)
+	}
+	want := "0,anomalous,*,*,*,*,Unknown,Unknown,12,3,0.7500"
+	if lines[1] != want {
+		t.Errorf("row = %q, want %q", lines[1], want)
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != CSVHeader+"\n" {
+		t.Errorf("empty labeling = %q, want bare header", got)
+	}
+}
+
+// TestWriteADMDNilTrace pins that the ADMD encoder tolerates a nil trace
+// (time spans omitted) — the store re-encodes from reports without holding
+// the packets.
+func TestWriteADMDNilTrace(t *testing.T) {
+	reports := []core.CommunityReport{
+		{Community: 1, Label: core.Suspicious, Decision: core.Decision{Score: 0.5}},
+	}
+	var buf bytes.Buffer
+	if err := WriteADMD(&buf, "t", nil, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `type="suspicious"`) {
+		t.Errorf("admd output missing anomaly: %q", buf.String())
+	}
+}

@@ -49,19 +49,21 @@ package mawilab
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
+	"math"
 	"runtime"
 	"time"
 
-	"mawilab/internal/admd"
 	"mawilab/internal/core"
 	"mawilab/internal/detectors"
 	"mawilab/internal/detectors/suite"
 	"mawilab/internal/heuristics"
 	"mawilab/internal/mawigen"
 	"mawilab/internal/pcap"
+	wirev1 "mawilab/internal/serve/v1"
 	"mawilab/internal/trace"
 )
 
@@ -197,6 +199,98 @@ type Pipeline struct {
 	// RunContext always chop at the canonical boundary regardless of this
 	// field; only RunStream honors it.
 	Stream StreamConfig
+	// Observe, when non-nil, is called with the wall-clock seconds spent in
+	// each pipeline stage as it completes: StageIngest (segment sealing and
+	// window index builds), StageDetect (one detector-ensemble pass over a
+	// sealed segment), StageEstimate (similarity estimation over a window)
+	// and StageLabel (combining plus community labeling of a window). It is
+	// pure telemetry — the hook never influences the labeling, so the
+	// determinism contract is unaffected — and is how mawilabd exports
+	// per-stage latency histograms without wrapping the engine. Within one
+	// run calls are sequential; a Pipeline shared across concurrent runs
+	// needs an Observe that is safe for concurrent use.
+	Observe func(stage Stage, seconds float64)
+}
+
+// Stage names one observable pipeline stage for the Observe hook.
+type Stage string
+
+// The four observable stages of the labeling engine.
+const (
+	// StageIngest covers building a trace/segment/window columnar index.
+	StageIngest Stage = "ingest"
+	// StageDetect covers one detector-ensemble pass over a sealed segment.
+	StageDetect Stage = "detect"
+	// StageEstimate covers similarity estimation (extract, graph, Louvain).
+	StageEstimate Stage = "estimate"
+	// StageLabel covers combining and community labeling (rules, heuristics).
+	StageLabel Stage = "label"
+)
+
+// observe times one stage when the hook is installed; f's error passes
+// through unchanged.
+func (p *Pipeline) observe(stage Stage, f func() error) error {
+	if p.Observe == nil {
+		return f()
+	}
+	start := time.Now()
+	err := f()
+	p.Observe(stage, time.Since(start).Seconds())
+	return err
+}
+
+// Typed configuration errors returned by StreamConfig.Validate and
+// Pipeline.Validate, matchable with errors.Is.
+var (
+	// ErrSegmentSeconds rejects a negative or non-finite SegmentSeconds
+	// (0 selects the canonical batch boundary and is valid).
+	ErrSegmentSeconds = errors.New("mawilab: StreamConfig.SegmentSeconds must be >= 0 and finite")
+	// ErrWindowSegments rejects a negative WindowSegments (0 means 1).
+	ErrWindowSegments = errors.New("mawilab: StreamConfig.WindowSegments must be >= 0")
+	// ErrWindowStride rejects a negative WindowStride (0 means tumbling:
+	// stride == window).
+	ErrWindowStride = errors.New("mawilab: StreamConfig.WindowStride must be >= 0")
+	// ErrStrideExceedsWindow rejects a stride larger than the window, which
+	// would silently skip segments between labelings.
+	ErrStrideExceedsWindow = errors.New("mawilab: StreamConfig.WindowStride must not exceed the window")
+	// ErrWorkers rejects a negative Pipeline.Workers (0 means 1, the
+	// sequential reference path; Parallelism normalizes <= 0 to GOMAXPROCS).
+	ErrWorkers = errors.New("mawilab: Pipeline.Workers must be >= 0")
+)
+
+// Validate checks the stream configuration and returns a typed error for
+// the first invalid field: a negative or non-finite SegmentSeconds
+// (ErrSegmentSeconds), a negative WindowSegments (ErrWindowSegments), a
+// negative WindowStride (ErrWindowStride), or a stride larger than the
+// effective window (ErrStrideExceedsWindow) — values that earlier versions
+// silently clamped. The zero value is valid: it is the canonical batch
+// boundary. RunStream and the mawilabd config loader call this before any
+// work starts, so a bad config fails fast instead of surfacing mid-stream.
+func (c StreamConfig) Validate() error {
+	if c.SegmentSeconds < 0 || math.IsNaN(c.SegmentSeconds) || math.IsInf(c.SegmentSeconds, 0) {
+		return fmt.Errorf("%w: got %v", ErrSegmentSeconds, c.SegmentSeconds)
+	}
+	if c.WindowSegments < 0 {
+		return fmt.Errorf("%w: got %d", ErrWindowSegments, c.WindowSegments)
+	}
+	if c.WindowStride < 0 {
+		return fmt.Errorf("%w: got %d", ErrWindowStride, c.WindowStride)
+	}
+	if c.WindowStride > c.window() {
+		return fmt.Errorf("%w: stride %d > window %d", ErrStrideExceedsWindow, c.WindowStride, c.window())
+	}
+	return nil
+}
+
+// Validate checks the pipeline configuration: a negative Workers count
+// (ErrWorkers) and the embedded StreamConfig (see StreamConfig.Validate).
+// RunStream validates before starting; the batch adapters keep their
+// historical leniency for the Stream field they ignore.
+func (p *Pipeline) Validate() error {
+	if p.Workers < 0 {
+		return fmt.Errorf("%w: got %d", ErrWorkers, p.Workers)
+	}
+	return p.Stream.Validate()
 }
 
 // StreamConfig parameterizes segmented streaming ingest (Pipeline.RunStream).
@@ -212,8 +306,9 @@ type StreamConfig struct {
 	WindowSegments int
 	// WindowStride is how many segments the window advances per labeling:
 	// stride == WindowSegments gives tumbling windows, a smaller stride
-	// gives overlapping sliding windows. <= 0 (or a value larger than the
-	// window) means WindowSegments.
+	// gives overlapping sliding windows. 0 means WindowSegments (tumbling);
+	// negative values and strides larger than the window are invalid — see
+	// Validate, which RunStream calls before any work starts.
 	WindowStride int
 }
 
@@ -297,7 +392,12 @@ func (p *Pipeline) Run(tr *Trace) (*Labeling, error) {
 // window. Batch and stream therefore share one engine, and a stream chopped
 // at the canonical boundary reproduces this labeling bit-for-bit.
 func (p *Pipeline) RunContext(ctx context.Context, tr *Trace) (*Labeling, error) {
-	seg, err := trace.SealTrace(ctx, tr, p.workers())
+	var seg *Segment
+	err := p.observe(StageIngest, func() error {
+		var err error
+		seg, err = trace.SealTrace(ctx, tr, p.workers())
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -391,6 +491,12 @@ func (s *Stream) Err() error {
 // Run's batch labeling bit-for-bit.
 func (p *Pipeline) RunStream(ctx context.Context, packets <-chan Packet) *Stream {
 	s := &Stream{windows: make(chan *WindowLabeling), done: make(chan struct{})}
+	if err := p.Validate(); err != nil {
+		s.err = err
+		close(s.windows)
+		close(s.done)
+		return s
+	}
 	go func() {
 		defer close(s.done)
 		defer close(s.windows)
@@ -444,8 +550,12 @@ func (p *Pipeline) runSegments(ctx context.Context, segs iter.Seq2[*Segment, err
 		if err != nil {
 			return err
 		}
-		alarms, _, err := detectors.DetectAllContext(ctx, seg.Index, p.Detectors, p.workers())
-		if err != nil {
+		var alarms []Alarm
+		if err := p.observe(StageDetect, func() error {
+			var err error
+			alarms, _, err = detectors.DetectAllContext(ctx, seg.Index, p.Detectors, p.workers())
+			return err
+		}); err != nil {
 			return err
 		}
 		pending = append(pending, segmentRun{seg: seg, alarms: alarms})
@@ -481,9 +591,11 @@ func (p *Pipeline) labelWindow(ctx context.Context, wi int, runs []segmentRun, t
 		for _, r := range runs {
 			wtr.Packets = append(wtr.Packets, r.seg.Trace.Packets...)
 		}
-		var err error
-		ix, err = trace.BuildIndex(ctx, wtr, p.workers())
-		if err != nil {
+		if err := p.observe(StageIngest, func() error {
+			var err error
+			ix, err = trace.BuildIndex(ctx, wtr, p.workers())
+			return err
+		}); err != nil {
 			return nil, err
 		}
 	}
@@ -523,21 +635,32 @@ func (p *Pipeline) RunAlarmsContext(ctx context.Context, tr *Trace, alarms []Ala
 
 // runAlarms runs estimate → combine → label against one shared trace index.
 func (p *Pipeline) runAlarms(ctx context.Context, ix *trace.Index, alarms []Alarm, totals map[string]int) (*Labeling, error) {
-	res, err := core.EstimateContext(ctx, ix, alarms, p.Estimator, p.workers())
-	if err != nil {
+	var res *core.Result
+	if err := p.observe(StageEstimate, func() error {
+		var err error
+		res, err = core.EstimateContext(ctx, ix, alarms, p.Estimator, p.workers())
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	conf := res.Confidences(totals)
-	dec, err := p.Strategy.Classify(res, conf)
-	if err != nil {
-		return nil, err
-	}
-	opts := core.DefaultReportOptions()
-	if p.RuleSupport > 0 {
-		opts.RuleSupport = p.RuleSupport
-	}
-	reports, err := core.BuildReportsContext(ctx, res, dec, opts, p.workers())
-	if err != nil {
+	var (
+		dec     []Decision
+		reports []CommunityReport
+	)
+	if err := p.observe(StageLabel, func() error {
+		conf := res.Confidences(totals)
+		var err error
+		dec, err = p.Strategy.Classify(res, conf)
+		if err != nil {
+			return err
+		}
+		opts := core.DefaultReportOptions()
+		if p.RuleSupport > 0 {
+			opts.RuleSupport = p.RuleSupport
+		}
+		reports, err = core.BuildReportsContext(ctx, res, dec, opts, p.workers())
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Labeling{Alarms: alarms, Result: res, Decisions: dec, Reports: reports}, nil
@@ -557,66 +680,18 @@ func (l *Labeling) Anomalies() []CommunityReport {
 
 // WriteCSV emits the labeling in the MAWILab database format: one row per
 // community with its taxonomy label, best rule 4-tuple, heuristic
-// category and size.
+// category and size. The byte layout is the v1 wire schema
+// (internal/serve/v1) — the same encoder mawilabd serves, so CLI and HTTP
+// output are byte-identical for the same trace.
 func (l *Labeling) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "community,label,srcIP,srcPort,dstIP,dstPort,heuristic,category,packets,flows,score"); err != nil {
-		return err
-	}
-	for _, rep := range l.Reports {
-		src, sport, dst, dport := "*", "*", "*", "*"
-		if len(rep.Rules) > 0 {
-			src, sport, dst, dport = ruleFields(rep.Rules[0].String())
-		}
-		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%s,%s,%s,%d,%d,%.4f\n",
-			rep.Community, rep.Label, src, sport, dst, dport,
-			rep.Class, rep.Category, rep.Packets, rep.Flows, rep.Decision.Score); err != nil {
-			return err
-		}
-	}
-	return nil
+	return wirev1.WriteCSV(w, l.Reports)
 }
 
 // WriteADMD emits the labeling as an admd XML document, the format of the
-// published MAWILab database. tr supplies the trace time bounds.
+// published MAWILab database. tr supplies the trace time bounds. Like
+// WriteCSV it encodes through the shared v1 wire schema.
 func (l *Labeling) WriteADMD(w io.Writer, traceName string, tr *Trace) error {
-	return admd.Encode(w, traceName, tr, l.Reports)
-}
-
-// ruleFields splits "<a, b, c, d>" into its four fields.
-func ruleFields(rule string) (src, sport, dst, dport string) {
-	src, sport, dst, dport = "*", "*", "*", "*"
-	trimmed := rule
-	if len(trimmed) >= 2 && trimmed[0] == '<' && trimmed[len(trimmed)-1] == '>' {
-		trimmed = trimmed[1 : len(trimmed)-1]
-	}
-	parts := splitComma(trimmed)
-	if len(parts) == 4 {
-		src, sport, dst, dport = parts[0], parts[1], parts[2], parts[3]
-	}
-	return src, sport, dst, dport
-}
-
-func splitComma(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == ',' {
-			out = append(out, trimSpace(s[start:i]))
-			start = i + 1
-		}
-	}
-	out = append(out, trimSpace(s[start:]))
-	return out
-}
-
-func trimSpace(s string) string {
-	for len(s) > 0 && s[0] == ' ' {
-		s = s[1:]
-	}
-	for len(s) > 0 && s[len(s)-1] == ' ' {
-		s = s[:len(s)-1]
-	}
-	return s
+	return wirev1.WriteADMD(w, traceName, tr, l.Reports)
 }
 
 // GroundTruthEval scores a labeling against generator ground truth: an

@@ -138,18 +138,6 @@ func TestFacadeHelpers(t *testing.T) {
 	}
 }
 
-func TestRuleFieldsParsing(t *testing.T) {
-	src, sport, dst, dport := ruleFields("<1.2.3.4, 80, *, 443>")
-	if src != "1.2.3.4" || sport != "80" || dst != "*" || dport != "443" {
-		t.Errorf("ruleFields = %s/%s/%s/%s", src, sport, dst, dport)
-	}
-	// Malformed rules degrade to wildcards.
-	src, _, _, _ = ruleFields("garbage")
-	if src != "*" {
-		t.Errorf("malformed rule src = %q", src)
-	}
-}
-
 func TestWriteADMD(t *testing.T) {
 	arch := NewArchive(46)
 	arch.Duration = 30

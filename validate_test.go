@@ -1,0 +1,124 @@
+package mawilab
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestStreamConfigValidate walks every boundary of the typed validation:
+// values the engine used to clamp silently now fail fast with a matchable
+// sentinel.
+func TestStreamConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  StreamConfig
+		want error // nil = valid
+	}{
+		{"zero value (canonical batch)", StreamConfig{}, nil},
+		{"typical stream", StreamConfig{SegmentSeconds: 900, WindowSegments: 4, WindowStride: 1}, nil},
+		{"tumbling default stride", StreamConfig{SegmentSeconds: 5, WindowSegments: 3}, nil},
+		{"stride equals window", StreamConfig{SegmentSeconds: 5, WindowSegments: 3, WindowStride: 3}, nil},
+		{"negative seconds", StreamConfig{SegmentSeconds: -1}, ErrSegmentSeconds},
+		{"NaN seconds", StreamConfig{SegmentSeconds: math.NaN()}, ErrSegmentSeconds},
+		{"infinite seconds", StreamConfig{SegmentSeconds: math.Inf(1)}, ErrSegmentSeconds},
+		{"negative window", StreamConfig{WindowSegments: -2}, ErrWindowSegments},
+		{"negative stride", StreamConfig{WindowStride: -1}, ErrWindowStride},
+		{"stride exceeds window", StreamConfig{WindowSegments: 2, WindowStride: 3}, ErrStrideExceedsWindow},
+		{"stride exceeds defaulted window", StreamConfig{WindowStride: 2}, ErrStrideExceedsWindow},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	p := NewPipeline()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default pipeline invalid: %v", err)
+	}
+	p.Workers = -1
+	if err := p.Validate(); !errors.Is(err, ErrWorkers) {
+		t.Fatalf("Workers=-1: Validate() = %v, want ErrWorkers", err)
+	}
+	p.Workers = 0
+	p.Stream.WindowSegments = -1
+	if err := p.Validate(); !errors.Is(err, ErrWindowSegments) {
+		t.Fatalf("stream config not validated: %v", err)
+	}
+}
+
+// TestRunStreamRejectsInvalidConfig pins the fail-fast contract: an invalid
+// StreamConfig surfaces from RunStream before any packet is consumed — the
+// windows channel is closed immediately and Wait returns the typed error.
+func TestRunStreamRejectsInvalidConfig(t *testing.T) {
+	p := NewPipeline()
+	p.Stream = StreamConfig{SegmentSeconds: 5, WindowSegments: 2, WindowStride: 3}
+	packets := make(chan Packet) // never written: validation must not block on it
+	s := p.RunStream(context.Background(), packets)
+	if _, ok := <-s.Windows(); ok {
+		t.Fatal("invalid config emitted a window")
+	}
+	if err := s.Wait(); !errors.Is(err, ErrStrideExceedsWindow) {
+		t.Fatalf("Wait() = %v, want ErrStrideExceedsWindow", err)
+	}
+	if err := s.Err(); !errors.Is(err, ErrStrideExceedsWindow) {
+		t.Fatalf("Err() = %v, want ErrStrideExceedsWindow", err)
+	}
+}
+
+// TestObserveStages pins the telemetry hook: one batch run reports every
+// stage at least once, with non-negative durations, and installing the hook
+// does not move the labeling bytes.
+func TestObserveStages(t *testing.T) {
+	arch := NewArchive(42)
+	arch.Duration = 30
+	arch.BaseRate = 200
+	day := arch.Day(Date(2004, 5, 10))
+
+	ref, err := NewPipeline().Run(day.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[Stage]int{}
+	p := NewPipeline()
+	p.Observe = func(stage Stage, seconds float64) {
+		if seconds < 0 {
+			t.Errorf("stage %s: negative duration %g", stage, seconds)
+		}
+		seen[stage]++
+	}
+	got, err := p.Run(day.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []Stage{StageIngest, StageDetect, StageEstimate, StageLabel} {
+		if seen[stage] == 0 {
+			t.Errorf("stage %s never observed (saw %v)", stage, seen)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := ref.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Observe hook changed the labeling bytes")
+	}
+}

@@ -26,7 +26,7 @@ FUZZTIME ?= 10s
 # can't push a benchmark past the threshold.
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-gate bench-baseline cover fmt vet fuzz serve-smoke check
+.PHONY: all build test race bench bench-gate bench-baseline cover fmt vet fuzz lint serve-smoke check
 
 all: build test
 
@@ -36,18 +36,19 @@ build:
 test:
 	$(GO) test ./...
 
-# The race job covers the root package (pipeline + benches compile in,
-# including the RunStream engine and its TestStreamMatchesBatch /
-# TestStreamDeterminismMatrix / cancellation tests) and every internal
-# package, since the concurrency lives under internal/ — in particular
-# ./internal/trace (segment sealing + index builds), ./internal/mawigen
-# (windowed background generation + injection fan-out), ./internal/parallel
-# (the pool itself), ./internal/graphx (partition-parallel Louvain),
-# ./internal/simgraph (keyed-shard similarity graph) and ./internal/serve
-# (the daemon's engine admission/drain paths, lock-free histograms and the
-# graceful-shutdown tests), all matched by ./internal/... below.
+# The race job covers the whole module: the root package (pipeline +
+# benches compile in, including the RunStream engine and its
+# TestStreamMatchesBatch / TestStreamDeterminismMatrix / cancellation
+# tests), every internal package where the concurrency lives — trace
+# (segment sealing + index builds), mawigen (windowed background
+# generation + injection fan-out), parallel (the pool itself), graphx
+# (partition-parallel Louvain), simgraph (keyed-shard similarity graph),
+# serve (the daemon's engine admission/drain paths, lock-free histograms
+# and graceful-shutdown tests) — plus the cmd binaries' black-box tests
+# (mawilabd's serve smoke spawns the real daemon) and examples. ./... so
+# a new package can never silently miss race coverage.
 race:
-	$(GO) test -race ./internal/... .
+	$(GO) test -race ./...
 
 # Benchmark smoke run: one iteration of the tracked benches, converted to
 # BENCH_ci.json for the artifact trail. No pipe: a benchmark failure must
@@ -93,6 +94,16 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific static analysis (the determinism contract): first the
+# suite's own tests — every analyzer must still fire on its seeded
+# testdata violations and the suppression grammar must still reject
+# reasonless allows — then the mawilint binary over the whole module,
+# which fails on any finding or unexplained suppression. See README
+# "Static analysis & determinism contract".
+lint:
+	$(GO) test -count=1 ./internal/analysis/... ./cmd/mawilint
+	$(GO) run ./cmd/mawilint ./...
+
 # Short fuzzing smoke over the committed seed corpora plus FUZZTIME of fresh
 # exploration per target: the IPv4 parser invariants and the pcap
 # write→read round trip. A crash writes its reproducer into the package's
@@ -109,4 +120,4 @@ fuzz:
 serve-smoke:
 	$(GO) test ./cmd/mawilabd -run '^TestServeSmoke$$' -v -count=1
 
-check: build vet fmt test fuzz serve-smoke
+check: build vet fmt lint test fuzz serve-smoke

@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -161,12 +162,19 @@ func main() {
 			perDet := map[string][]float64{}
 			for _, dr := range ratios {
 				for d, v := range dr.PerDetector {
-					perDet[d] = append(perDet[d], v)
+					perDet[d] = append(perDet[d], v) //mawilint:allow maprange — every key collects its values in the outer ratios order; keys are read in sorted order below
 				}
 			}
+			// Scan detectors in sorted order so ties in the mean attack
+			// ratio resolve the same way every run.
+			dets := make([]string, 0, len(perDet))
+			for d := range perDet {
+				dets = append(dets, d)
+			}
+			sort.Strings(dets)
 			mostAccurate, bestRatio := "", -1.0
-			for d, vs := range perDet {
-				if m := stats.Mean(vs); m > bestRatio {
+			for _, d := range dets {
+				if m := stats.Mean(perDet[d]); m > bestRatio {
 					mostAccurate, bestRatio = d, m
 				}
 			}

@@ -125,7 +125,7 @@ func main() {
 func runStream(p *mawilab.Pipeline, in, dateStr string, seed int64, format, name string, verbose bool) {
 	packets := make(chan mawilab.Packet, 1024)
 	feedErr := make(chan error, 1)
-	go func() {
+	go func() { //mawilint:allow baregoroutine — single feeder goroutine; packet order is preserved by the channel FIFO and the error joined below
 		defer close(packets)
 		feedErr <- feed(packets, in, dateStr, seed)
 	}()

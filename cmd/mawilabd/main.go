@@ -80,9 +80,9 @@ func main() {
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.Serve(ln) }()
+	go func() { errCh <- httpSrv.Serve(ln) }() //mawilint:allow baregoroutine — the accept loop; terminated by httpSrv.Shutdown on SIGTERM and joined via errCh
 	if *spoolDir != "" {
-		go s.WatchSpool(ctx)
+		go s.WatchSpool(ctx) //mawilint:allow baregoroutine — spool watcher; lifetime bounded by the signal ctx, exits on cancellation
 	}
 
 	select {

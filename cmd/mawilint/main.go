@@ -1,0 +1,67 @@
+// Command mawilint statically enforces the repo's determinism contract:
+// byte-identical pipeline output at every worker count, pinned not only
+// dynamically by golden fixtures but at compile time by repo-specific
+// analyzers. Run it from the module root:
+//
+//	go run ./cmd/mawilint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any diagnostic
+// survives, 2 on a load or internal failure. Suppressions use
+//
+//	code()  //mawilint:allow <analyzer> — <reason>
+//
+// and are themselves audited: a missing reason, an unknown analyzer name
+// or a directive that no longer matches anything is a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mawilab/internal/analysis/driver"
+	"mawilab/internal/analysis/load"
+	"mawilab/internal/analysis/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mawilint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	dir := fs.String("C", ".", "module directory to lint from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := registry.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mawilint: %v\n", err)
+		return 2
+	}
+	diags, err := driver.Run(pkgs, analyzers, registry.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mawilint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mawilint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

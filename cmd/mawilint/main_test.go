@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"mawilab/internal/analysis/driver"
+	"mawilab/internal/analysis/load"
+	"mawilab/internal/analysis/registry"
+)
+
+// TestRepoIsClean runs the full suite over the whole module under the
+// default config — including the suite's own source — and requires zero
+// findings. This is the tree-wide guarantee CI's lint job enforces; a
+// regression anywhere in the repo fails here before it fails in CI.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := load.Packages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags, err := driver.Run(pkgs, registry.Analyzers(), registry.DefaultConfig())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

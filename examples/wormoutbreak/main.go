@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"mawilab"
@@ -75,7 +76,12 @@ func main() {
 	}
 	fmt.Printf("\n2004-05-17: %d communities reported by multiple detectors\n", multi)
 	fmt.Println("single-detector communities (the disagreement the outbreak causes):")
-	for det, n := range soloByDetector {
-		fmt.Printf("  %-8s %d\n", det, n)
+	dets := make([]string, 0, len(soloByDetector))
+	for det := range soloByDetector {
+		dets = append(dets, det)
+	}
+	sort.Strings(dets)
+	for _, det := range dets {
+		fmt.Printf("  %-8s %d\n", det, soloByDetector[det])
 	}
 }

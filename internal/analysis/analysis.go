@@ -1,0 +1,211 @@
+// Package analysis is a minimal, stdlib-only analogue of
+// golang.org/x/tools/go/analysis: just enough framework to host mawilint's
+// determinism-contract checkers. The module deliberately carries no
+// dependencies (go.mod lists none and CI must build offline), so the real
+// x/tools framework is out of reach; this package mirrors its Analyzer/Pass
+// shape closely enough that the checkers could be ported to an x/tools
+// multichecker nearly verbatim if that trade-off ever changes.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics through its Pass. Loading packages is the loader subpackage's
+// job (go list -export + the gc importer); policy — which analyzers run
+// where, and the mawilint:allow suppression grammar — lives in the driver
+// subpackage.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run inspects the package held by the Pass
+// and reports findings via Pass.Reportf; it returns an error only for
+// internal failures, never for findings.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in mawilint:allow directives
+	Doc  string // one-paragraph description of the invariant enforced
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, already resolved to a file position so that
+// callers can sort, deduplicate and match suppression directives without a
+// FileSet in hand.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// NewPass assembles a pass; the driver and the test harness both use it.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns everything reported so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }
+
+// WithStack walks every file in pre-order, passing each node together with
+// the stack of its ancestors (stack[0] is the file, stack[len-1] is n).
+// Returning false skips n's children.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost FuncDecl or FuncLit in the stack
+// strictly containing the top node, or nil at package scope.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// FuncParams returns the parameter list of a FuncDecl or FuncLit node,
+// or nil for any other node.
+func FuncParams(n ast.Node) *ast.FieldList {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Type.Params
+	case *ast.FuncLit:
+		return fn.Type.Params
+	}
+	return nil
+}
+
+// FuncBody returns the body of a FuncDecl or FuncLit node, or nil.
+func FuncBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// Callee resolves a call expression to the *types.Func it invokes (through
+// an identifier or selector), or nil for builtins, conversions, and calls
+// of function-typed values.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// RootIdent unwraps selectors, indexes, stars and parens down to the
+// leftmost identifier of an lvalue-ish expression, or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside node's
+// source range — i.e. the object is per-iteration or per-closure state
+// rather than shared state captured from outside.
+func DeclaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && node != nil && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// IsMap reports whether t's underlying type is a map.
+func IsMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsFloat reports whether t is a floating-point or complex basic type,
+// i.e. a type whose addition is not associative.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// Mentions reports whether any identifier inside e resolves to obj.
+func (p *Pass) Mentions(e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,167 @@
+// Package atest is mawilint's analysistest analogue: it runs one analyzer
+// over a directory of fixture files and checks the reported diagnostics
+// against `// want "regexp"` comments, so every analyzer's test both
+// documents the hazard patterns and proves the check actually fires — a
+// silently broken analyzer fails its fixture test instead of passing
+// vacuously over the real tree.
+//
+// Fixture directories live under testdata/ (invisible to go build) and
+// hold exactly one package each. Imports — stdlib or mawilab-internal —
+// are resolved through export data exactly like the real driver's loads.
+package atest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mawilab/internal/analysis"
+	"mawilab/internal/analysis/load"
+)
+
+// want is one expectation: a diagnostic whose message matches re, on line
+// (file,line). matched flips when a diagnostic claims it.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts expectation patterns: backquoted raw strings (the usual
+// form, since diagnostic messages quote identifiers) or double-quoted ones.
+var wantRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// LoadDir parses and type-checks the single fixture package in dir under
+// the given import path. Exposed so the driver's tests can stage packages
+// at arbitrary import paths to exercise the exemption config.
+func LoadDir(t *testing.T, dir, importPath string) *load.Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				t.Fatalf("bad import in %s: %v", name, err)
+			}
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	lookup, err := load.ExportLookup(".", paths...)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	pkg, info, err := load.Check(fset, lookup, importPath, files)
+	if err != nil {
+		t.Fatalf("type-checking fixtures in %s: %v", dir, err)
+	}
+	return &load.Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}
+}
+
+// Run loads the fixture package in dir, runs a over it, and reports any
+// mismatch between the diagnostics and the `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg := LoadDir(t, dir, "fixture/"+filepath.Base(dir))
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s failed: %v", a.Name, err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllString(text, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no quoted pattern)", pos.Filename, pos.Line)
+					continue
+				}
+				for _, m := range ms {
+					var pat string
+					if strings.HasPrefix(m, "`") {
+						pat = strings.Trim(m, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(m)
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, m, err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range pass.Diagnostics() {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package baregoroutine flags `go` statements everywhere except
+// internal/parallel, which owns bounded, slot-ordered, ctx-cancellable
+// fan-out. Every ordering bug this repo has fixed started life as an
+// ad-hoc goroutine whose completion order leaked into output; routing all
+// concurrency through the pool keeps the merge order canonical and the
+// cancellation paths threaded. Structured long-lived goroutines (a
+// server's accept loop, a stream's single producer) are legitimate but
+// rare enough to carry an explicit mawilint:allow with their reason.
+package baregoroutine
+
+import (
+	"go/ast"
+
+	"mawilab/internal/analysis"
+)
+
+// Analyzer is the baregoroutine check.
+var Analyzer = &analysis.Analyzer{
+	Name: "baregoroutine",
+	Doc:  "flags go statements outside internal/parallel's bounded, ordered fan-out",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "bare goroutine; use internal/parallel's bounded fan-out (ForEach/Map) or justify the structured exception")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package baregoroutine_test
+
+import (
+	"testing"
+
+	"mawilab/internal/analysis/atest"
+	"mawilab/internal/analysis/baregoroutine"
+)
+
+func TestBareGoroutine(t *testing.T) {
+	atest.Run(t, baregoroutine.Analyzer, "testdata/a")
+}

@@ -1,0 +1,31 @@
+// Package a seeds baregoroutine violations: every go statement outside
+// internal/parallel is flagged, whatever it launches.
+package a
+
+import "sync"
+
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+func launchNamed(ch chan int) {
+	go worker(ch) // want `bare goroutine`
+}
+
+func launchLit(xs []int) {
+	var wg sync.WaitGroup
+	for range xs {
+		wg.Add(1)
+		go func() { // want `bare goroutine`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// sequential does the same work without a goroutine: fine.
+func sequential(ch chan int) {
+	close(ch)
+	worker(ch)
+}

@@ -1,0 +1,77 @@
+// Package ctxflow flags context.Background() and context.TODO() in
+// library code where a context parameter is already in scope. The
+// cancellation paths PR 3/6/7 threaded through the pipeline (Louvain's
+// pass loop, RunStream's window engine, the serve drain) only work if
+// callees keep passing the caller's ctx down; minting a fresh root mid-
+// chain silently detaches everything below it from cancellation.
+//
+// Compatibility wrappers with no ctx parameter (Run calling RunContext)
+// are untouched — there is no ctx to thread. main packages are skipped
+// here and cmd/examples are exempted by driver config: a main is where
+// root contexts are supposed to be minted.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mawilab/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags fresh root contexts where a ctx parameter is in scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.Callee(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); name != "Background" && name != "TODO" {
+			return true
+		}
+		if !ctxInScope(pass, stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s detaches this call chain from cancellation while a ctx parameter is in scope; thread the caller's ctx", fn.Name())
+		return true
+	})
+	return nil
+}
+
+// ctxInScope reports whether any enclosing function (including via
+// closure capture) declares a context.Context parameter.
+func ctxInScope(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		params := analysis.FuncParams(stack[i])
+		if params == nil {
+			continue
+		}
+		for _, field := range params.List {
+			if isCtxType(pass, field.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isCtxType(pass *analysis.Pass, e ast.Expr) bool {
+	named, ok := pass.TypeOf(e).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mawilab/internal/analysis/atest"
+	"mawilab/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	atest.Run(t, ctxflow.Analyzer, "testdata/a")
+}
+
+// TestMainPackageExempt proves the package-main carve-out: the mainpkg
+// fixture mints roots with a ctx in scope and must produce no diagnostics.
+func TestMainPackageExempt(t *testing.T) {
+	atest.Run(t, ctxflow.Analyzer, "testdata/mainpkg")
+}

@@ -1,0 +1,35 @@
+// Package a seeds ctxflow violations: fresh root contexts minted while a
+// caller's ctx is in scope, next to the legal compatibility-wrapper form.
+package a
+
+import "context"
+
+func process(ctx context.Context) error { return ctx.Err() }
+
+// detached drops the caller's ctx on the floor.
+func detached(ctx context.Context) error {
+	return process(context.Background()) // want `context.Background detaches this call chain`
+}
+
+// deferred does the same with TODO.
+func deferred(ctx context.Context) error {
+	return process(context.TODO()) // want `context.TODO detaches this call chain`
+}
+
+// captured reaches the ctx parameter through a closure: still in scope.
+func captured(ctx context.Context) func() error {
+	return func() error {
+		return process(context.Background()) // want `context.Background detaches this call chain`
+	}
+}
+
+// wrapper has no ctx parameter anywhere above the call: minting a root
+// here is the compatibility idiom, not a violation.
+func wrapper() error {
+	return process(context.Background())
+}
+
+// threaded passes the caller's ctx down: the sanctioned form.
+func threaded(ctx context.Context) error {
+	return process(ctx)
+}

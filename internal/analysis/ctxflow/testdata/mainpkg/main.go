@@ -1,0 +1,16 @@
+// Command mainpkg shows the package-main carve-out: a main is where root
+// contexts are supposed to be minted, so nothing here is flagged even
+// with a ctx parameter in scope.
+package main
+
+import "context"
+
+func run(ctx context.Context) error {
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func main() {
+	_ = run(context.Background())
+}

@@ -1,0 +1,18 @@
+// Package b carries every way to get the directive grammar wrong. None
+// of these suppress anything: each is itself reported, and the wallclock
+// diagnostics they tried to excuse surface anyway.
+package b
+
+import "time"
+
+func noSeparator() time.Time {
+	return time.Now() //mawilint:allow wallclock
+}
+
+func noReason() time.Time {
+	return time.Now() //mawilint:allow wallclock —
+}
+
+func unknownName() time.Time {
+	return time.Now() //mawilint:allow nosuchcheck — the named analyzer does not exist
+}

@@ -1,0 +1,8 @@
+// Package e carries one bare wallclock violation; whether it surfaces
+// depends entirely on the import path the driver sees it under and the
+// exemption config.
+package e
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

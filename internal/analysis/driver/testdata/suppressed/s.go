@@ -1,0 +1,17 @@
+// Package s carries correctly suppressed violations — both directive
+// placements, each with a reason. The driver must return nothing.
+package s
+
+import "time"
+
+// stamp uses the trailing form: the directive shares the flagged line.
+func stamp() time.Time {
+	return time.Now() //mawilint:allow wallclock — fixture: trailing suppression form
+}
+
+// stampAbove uses the leading form: the directive sits on its own line
+// directly above the flagged statement, with the ASCII separator.
+func stampAbove() time.Time {
+	//mawilint:allow wallclock -- fixture: leading suppression form
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Package u carries a well-formed directive with nothing to excuse: no
+// diagnostic fires on its line or the next. Under a normal run it is
+// stale; under a config that exempts wallclock here it is redundant.
+package u
+
+//mawilint:allow wallclock — fixture: nothing below trips the analyzer
+func pure(x int) int {
+	return x + 1
+}

@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"mawilab/internal/analysis/atest"
+	"mawilab/internal/analysis/floatorder"
+)
+
+func TestFloatOrder(t *testing.T) {
+	atest.Run(t, floatorder.Analyzer, "testdata/a")
+}

@@ -1,0 +1,98 @@
+// Package a seeds floatorder violations — shared float accumulation in
+// unordered regions — next to the sanctioned shard-then-merge idiom.
+package a
+
+import (
+	"context"
+	"sync"
+
+	"mawilab/internal/parallel"
+)
+
+// goShared accumulates into a captured float from goroutines.
+func goShared(xs []float64) float64 {
+	var sum float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += xs[i] // want `floating-point accumulation into "sum" inside a goroutine`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// poolShared accumulates into a captured float from pool workers; the lock
+// makes it race-free but the order still varies run to run.
+func poolShared(ctx context.Context, xs []float64, workers int) float64 {
+	var sum float64
+	var mu sync.Mutex
+	_ = parallel.ForEach(ctx, len(xs), workers, func(_ context.Context, i int) error {
+		mu.Lock()
+		sum = sum + xs[i] // want `floating-point accumulation into "sum" inside a parallel worker`
+		mu.Unlock()
+		return nil
+	})
+	return sum
+}
+
+// poolSharded is the sanctioned idiom: per-slot shards, merged in slot
+// order by the caller afterwards.
+func poolSharded(ctx context.Context, xs []float64, workers int) float64 {
+	shards := make([]float64, len(xs))
+	_ = parallel.ForEach(ctx, len(xs), workers, func(_ context.Context, i int) error {
+		shards[i] = xs[i] * 2
+		return nil
+	})
+	sum := 0.0
+	for _, s := range shards {
+		sum += s
+	}
+	return sum
+}
+
+// mapShared accumulates a float across map iteration order.
+func mapShared(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into "sum" inside a map range`
+	}
+	return sum
+}
+
+// mapSpelledOut is the same hazard in x = x + y form.
+func mapSpelledOut(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation into "sum" inside a map range`
+	}
+	return sum
+}
+
+// intShared commutes exactly at any order: fine.
+func intShared(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// localSubtotal accumulates into a per-iteration local over an ordered
+// inner slice: fine.
+func localSubtotal(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}

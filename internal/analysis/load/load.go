@@ -1,0 +1,194 @@
+// Package load turns `go list -deps -export` output into type-checked
+// packages for mawilint, using nothing beyond the standard library. The go
+// command compiles (or reuses from the build cache) export data for every
+// dependency; the gc importer then resolves imports from those files, so
+// each target package is parsed from source exactly once and type-checked
+// against precompiled dependency signatures — the same shape as an x/tools
+// driver, without the x/tools dependency.
+//
+// Test files are deliberately excluded: mawilint defends the determinism of
+// shipped labelings, and hazards confined to _test.go files cannot reach
+// them. The analyzers' own fixtures live under testdata/ directories, which
+// the go tool (and hence this loader) never matches.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// goList runs `go list -deps -export -json` in dir for the given patterns
+// and returns the decoded package stream in list order.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := []string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookupFunc opens export data by import path for the gc importer.
+type lookupFunc = func(path string) (io.ReadCloser, error)
+
+func exportLookup(pkgs []listPkg) lookupFunc {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// ExportLookup compiles (via the build cache) and indexes export data for
+// the named packages and all their dependencies, returning a lookup for
+// the gc importer. The test harness uses it to type-check fixture files
+// that import stdlib or module packages.
+func ExportLookup(dir string, paths ...string) (func(path string) (io.ReadCloser, error), error) {
+	if len(paths) == 0 {
+		return func(path string) (io.ReadCloser, error) {
+			return nil, errors.New("no packages loaded")
+		}, nil
+	}
+	pkgs, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	return exportLookup(pkgs), nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Check type-checks files as package path, resolving imports through
+// lookup.
+func Check(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error), path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := NewInfo()
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// Packages loads, parses and type-checks every non-test package matched by
+// patterns (default "./...") relative to dir, which must lie inside the
+// module. Results come back in `go list` order (dependencies first), which
+// is stable for a fixed module state.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	lookup := exportLookup(listed)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	var out []*Package
+	for _, t := range listed {
+		if t.DepOnly || t.Standard {
+			continue
+		}
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: imp}
+		info := NewInfo()
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+// Package maprange flags code that lets Go's randomized map iteration
+// order leak into observable output: ranging over a map while appending to
+// a slice that is never canonically sorted, or while writing to a stream.
+// This is the exact bug class the simgraph extraction (PR 2) and the flow
+// table (PR 5) fixed by hand; the analyzer makes the fix a compile-time
+// property.
+//
+// The canonical collect-keys-then-sort idiom stays legal: an append whose
+// target is later passed to a sort.* or slices.Sort* call in the same
+// function is recognized as canonically ordered. Floating-point
+// accumulation across map iterations is the floatorder analyzer's domain.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mawilab/internal/analysis"
+)
+
+// Analyzer is the maprange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flags map iteration whose order reaches output (unsorted appends, stream writes)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !analysis.IsMap(pass.TypeOf(rs.X)) {
+			return true
+		}
+		checkBody(pass, rs, analysis.EnclosingFunc(stack))
+		return true
+	})
+	return nil
+}
+
+// checkBody scans one map-range body for order-sensitive effects. encl is
+// the enclosing function node (used to search for a later canonical sort).
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, encl ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			checkAppend(pass, rs, encl, stmt)
+		case *ast.CallExpr:
+			checkWrite(pass, rs, stmt)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `x = append(x, ...)` where x outlives the loop and is
+// never canonically sorted afterwards in the same function.
+func checkAppend(pass *analysis.Pass, rs *ast.RangeStmt, encl ast.Node, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	target := analysis.RootIdent(as.Lhs[0])
+	if target == nil {
+		return
+	}
+	obj := pass.ObjectOf(target)
+	if obj == nil || analysis.DeclaredWithin(obj, rs) {
+		return // per-iteration scratch; order cannot leak
+	}
+	if sortedAfter(pass, encl, obj, rs) {
+		return // collect-then-sort idiom: order is canonicalized
+	}
+	pass.Reportf(as.Pos(), "%q grows in map iteration order and is never canonically sorted; sort it (sort.*/slices.Sort*) or iterate sorted keys", target.Name)
+}
+
+// sortFuncs lists the canonical-ordering entry points; any call to one of
+// these mentioning the append target, after the loop, clears the hazard.
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+func sortedAfter(pass *analysis.Pass, encl ast.Node, obj types.Object, rs *ast.RangeStmt) bool {
+	body := analysis.FuncBody(encl)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		fn := pass.Callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if pass.Mentions(arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// writeMethods are stream-writer methods whose call order is observable.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// fmtWriters maps fmt functions to the index of their writer argument;
+// -1 marks implicit stdout.
+var fmtWriters = map[string]int{
+	"Print": -1, "Printf": -1, "Println": -1,
+	"Fprint": 0, "Fprintf": 0, "Fprintln": 0,
+}
+
+// checkWrite flags stream writes whose destination outlives the loop, so
+// the emitted byte order depends on map iteration order.
+func checkWrite(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	fn := pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	var dest ast.Expr
+	switch {
+	case fn.Pkg().Path() == "fmt":
+		idx, ok := fmtWriters[fn.Name()]
+		if !ok {
+			return
+		}
+		if idx < 0 {
+			pass.Reportf(call.Pos(), "writes to stdout in map iteration order; iterate canonically sorted keys")
+			return
+		}
+		if idx >= len(call.Args) {
+			return
+		}
+		dest = call.Args[idx]
+	case fn.Pkg().Path() == "io" && fn.Name() == "WriteString":
+		if len(call.Args) == 0 {
+			return
+		}
+		dest = call.Args[0]
+	case fn.Signature().Recv() != nil && writeMethods[fn.Name()]:
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		dest = sel.X
+	default:
+		return
+	}
+	root := analysis.RootIdent(dest)
+	if root == nil {
+		return
+	}
+	if obj := pass.ObjectOf(root); obj != nil && analysis.DeclaredWithin(obj, rs) {
+		return // per-iteration buffer; bytes regroup deterministically
+	}
+	pass.Reportf(call.Pos(), "writes to %q in map iteration order; iterate canonically sorted keys", rootName(dest))
+}
+
+func rootName(e ast.Expr) string {
+	if id := analysis.RootIdent(e); id != nil {
+		return id.Name
+	}
+	return "writer"
+}

@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"mawilab/internal/analysis/atest"
+	"mawilab/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	atest.Run(t, maprange.Analyzer, "testdata/a")
+}

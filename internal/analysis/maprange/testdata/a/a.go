@@ -1,0 +1,112 @@
+// Package a seeds maprange violations and the sanctioned idioms around
+// them; the analyzer test fails unless every want-line fires and nothing
+// else does.
+package a
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// appendUnsorted leaks map order into the returned slice.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `"out" grows in map iteration order`
+	}
+	return out
+}
+
+// collectThenSort is the canonical idiom: collect, then canonicalize.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSlicesSort uses the slices package for the canonical sort.
+func collectThenSlicesSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// sortFuncEscape canonicalizes via a comparator sort.
+func sortFuncEscape(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// writeToStream leaks map order into the writer's byte stream.
+func writeToStream(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `writes to "w" in map iteration order`
+	}
+}
+
+// writeToStdout leaks map order into process output.
+func writeToStdout(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `writes to stdout in map iteration order`
+	}
+}
+
+// builderInLoop writes to a builder that outlives the loop.
+func builderInLoop(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `writes to "b" in map iteration order`
+	}
+}
+
+// perIterationBuffer regroups bytes deterministically per key: fine.
+func perIterationBuffer(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d", v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// sliceRange is ordered iteration: fine.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// intAccumulation commutes exactly: fine (floatorder owns float hazards).
+func intAccumulation(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perIterationScratch appends to a loop-local: fine.
+func perIterationScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		n += len(scratch)
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+// Package stdoutguard flags writes to the process's standard streams from
+// library (non-main) packages: fmt.Print/Printf/Println and direct
+// os.Stdout/os.Stderr uses. The batch CLI pipes labelings as CSV on
+// stdout and the eval harness emits figure files whose bytes are golden-
+// pinned; a stray debug print from a library corrupts piped output and,
+// when it fires from concurrent workers, interleaves nondeterministically.
+// Only a main package decides what the process's streams carry.
+package stdoutguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mawilab/internal/analysis"
+)
+
+// Analyzer is the stdoutguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "stdoutguard",
+	Doc:  "flags stdout/stderr writes from library packages",
+	Run:  run,
+}
+
+var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "fmt":
+				if fn, ok := obj.(*types.Func); ok && printFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(), "fmt.%s writes to process stdout from a library package; take an io.Writer instead", fn.Name())
+				}
+			case "os":
+				if v, ok := obj.(*types.Var); ok && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+					pass.Reportf(id.Pos(), "os.%s is the process's stream, not the library's; take an io.Writer instead", v.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

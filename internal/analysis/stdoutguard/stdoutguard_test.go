@@ -1,0 +1,18 @@
+package stdoutguard_test
+
+import (
+	"testing"
+
+	"mawilab/internal/analysis/atest"
+	"mawilab/internal/analysis/stdoutguard"
+)
+
+func TestStdoutGuard(t *testing.T) {
+	atest.Run(t, stdoutguard.Analyzer, "testdata/a")
+}
+
+// TestMainPackageExempt proves the package-main carve-out: the mainpkg
+// fixture prints freely and must produce no diagnostics.
+func TestMainPackageExempt(t *testing.T) {
+	atest.Run(t, stdoutguard.Analyzer, "testdata/mainpkg")
+}

@@ -1,0 +1,39 @@
+// Package a seeds stdoutguard violations: library code printing to the
+// process streams, next to the sanctioned io.Writer form.
+package a
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func debugPrint(x int) {
+	fmt.Println("x =", x) // want `fmt.Println writes to process stdout`
+}
+
+func debugPrintf(x int) {
+	fmt.Printf("x = %d\n", x) // want `fmt.Printf writes to process stdout`
+}
+
+func debugBare(x int) {
+	fmt.Print(x) // want `fmt.Print writes to process stdout`
+}
+
+func grabStream() io.Writer {
+	return os.Stdout // want `os.Stdout is the process's stream`
+}
+
+func grabErrStream() io.Writer {
+	return os.Stderr // want `os.Stderr is the process's stream`
+}
+
+// report takes the destination as a parameter: the sanctioned form.
+func report(w io.Writer, x int) {
+	fmt.Fprintln(w, "x =", x)
+}
+
+// render builds the string without touching any stream: fine.
+func render(x int) string {
+	return fmt.Sprintf("x = %d", x)
+}

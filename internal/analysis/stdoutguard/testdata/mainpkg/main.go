@@ -1,0 +1,13 @@
+// Command mainpkg shows the package-main carve-out: a main owns the
+// process streams, so printing here is not flagged.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("hello")
+	fmt.Fprintln(os.Stderr, "done")
+}

@@ -1,0 +1,46 @@
+// Package a seeds wallclock violations next to the sanctioned seeded-RNG
+// idiom.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func now() time.Time { return time.Now() } // want `time.Now reads the wall clock`
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time.Since reads the wall clock`
+}
+
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want `time.Until reads the wall clock`
+}
+
+func globalRand() int { return rand.Intn(10) } // want `math/rand.Intn draws from the global source`
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand.Shuffle draws from the global source`
+}
+
+// seeded is the sanctioned path: an explicit seed, an owned generator.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func pid() int { return os.Getpid() } // want `os.Getpid reads ambient process state`
+
+func home() string { return os.Getenv("HOME") } // want `os.Getenv reads ambient process state`
+
+func entropy(p []byte) {
+	_, _ = crand.Read(p) // want `crypto/rand is nondeterministic`
+}
+
+// duration uses time's types and constants without reading the clock: fine.
+func duration() time.Duration { return 3 * time.Second }
+
+// format uses a time value handed in: fine.
+func format(t time.Time) string { return t.Format(time.RFC3339) }

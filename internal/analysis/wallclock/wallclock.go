@@ -1,0 +1,75 @@
+// Package wallclock forbids wall-clock reads and ambient process state in
+// the deterministic packages: time.Now and friends, the global math/rand
+// source, crypto/rand, and os.Getpid-style environment probes. A labeling
+// must be a pure function of the trace bytes and the pipeline config
+// (PAPER.md §1: reproducible reference labels); any of these calls makes
+// it a function of when, where, or in which process it ran.
+//
+// Seeded *rand.Rand values constructed with rand.New(rand.NewSource(seed))
+// stay legal — only the package-level convenience functions that consult
+// the shared global source are flagged. Which packages count as
+// deterministic is driver policy: serve, eval, cmd and examples are exempt
+// via the driver config, everything else in the module is covered.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mawilab/internal/analysis"
+)
+
+// Analyzer is the wallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids wall-clock, global-rand and ambient process state in deterministic packages",
+	Run:  run,
+}
+
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var osFuncs = map[string]bool{
+	"Getpid": true, "Getppid": true, "Hostname": true, "Environ": true,
+	"Getenv": true, "LookupEnv": true, "Getwd": true,
+	"UserHomeDir": true, "UserCacheDir": true, "UserConfigDir": true,
+}
+
+// randConstructors build explicitly seeded generators and are the
+// sanctioned path to randomness.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if fn, ok := obj.(*types.Func); ok && fn.Signature().Recv() == nil && timeFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(), "time.%s reads the wall clock in a deterministic package; take the timestamp as an input", fn.Name())
+				}
+			case "os":
+				if fn, ok := obj.(*types.Func); ok && osFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(), "os.%s reads ambient process state in a deterministic package; pass the value in explicitly", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				fn, ok := obj.(*types.Func)
+				if ok && fn.Signature().Recv() == nil && !randConstructors[fn.Name()] {
+					pass.Reportf(id.Pos(), "%s.%s draws from the global source; use an explicitly seeded *rand.Rand", obj.Pkg().Path(), fn.Name())
+				}
+			case "crypto/rand":
+				pass.Reportf(id.Pos(), "crypto/rand is nondeterministic by design; deterministic packages must use a seeded generator")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"mawilab/internal/analysis/atest"
+	"mawilab/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	atest.Run(t, wallclock.Analyzer, "testdata/a")
+}

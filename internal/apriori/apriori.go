@@ -157,7 +157,7 @@ func Mine(txs []Transaction, minSupport float64) []Rule {
 	var current []itemset
 	for k, c := range counts {
 		if c >= minCount {
-			current = append(current, itemset{items: []Item{{k.field, k.value}}, count: c})
+			current = append(current, itemset{items: []Item{{k.field, k.value}}, count: c}) //mawilint:allow maprange — sortSets canonicalizes current immediately below; the collect order never escapes
 		}
 	}
 	sortSets(current)

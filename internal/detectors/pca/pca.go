@@ -137,9 +137,8 @@ func (d *Detector) Detect(ix *trace.Index, config int) ([]core.Alarm, error) {
 
 	var alarms []core.Alarm
 	for _, h := range hosts {
-		bins := perHost[h]
-		sort.Ints(bins)
-		for _, iv := range mergeBins(bins) {
+		sort.Ints(perHost[h])
+		for _, iv := range mergeBins(perHost[h]) {
 			alarms = append(alarms, core.Alarm{
 				Detector: d.Name(),
 				Config:   config,

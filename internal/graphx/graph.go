@@ -5,7 +5,10 @@
 // dense groups of alarms inside sparse similarity graphs.
 package graphx
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Graph is an undirected weighted multigraph over nodes 0..N-1. Parallel
 // AddEdge calls between the same pair accumulate weight. Self-loops are
@@ -84,13 +87,26 @@ func (g *Graph) Weight(u, v int) float64 {
 }
 
 // Degree returns the weighted degree of u; self-loops count twice, per the
-// modularity convention.
+// modularity convention. Neighbors are summed in ascending id order so the
+// float accumulation is bit-identical from run to run even for fractional
+// similarity weights.
 func (g *Graph) Degree(u int) float64 {
 	d := 2 * g.self[u]
-	for _, w := range g.adj[u] {
-		d += w
+	for _, v := range sortedNeighbors(g.adj[u]) {
+		d += g.adj[u][v]
 	}
 	return d
+}
+
+// sortedNeighbors returns m's keys in ascending order, the canonical
+// iteration order wherever the accumulation is not exact.
+func sortedNeighbors(m map[int]float64) []int {
+	vs := make([]int, 0, len(m))
+	for v := range m {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
 }
 
 // TotalWeight returns the sum of all edge weights, m (self-loops once).
@@ -134,7 +150,7 @@ func (g *Graph) Components() []int {
 			for v := range g.adj[u] {
 				if comp[v] == -1 {
 					comp[v] = next
-					stack = append(stack, v)
+					stack = append(stack, v) //mawilint:allow maprange — DFS visit order cannot change the labeling: components are closed under reachability and ids follow the ascending start-node scan
 				}
 			}
 		}
@@ -152,27 +168,31 @@ func (g *Graph) Modularity(comm []int) float64 {
 	if m == 0 {
 		return 0
 	}
-	// Sum of internal weights and of total degrees per community.
+	// Sum of internal weights and of total degrees per community. All
+	// float accumulation runs in canonical order — ascending node id,
+	// ascending neighbor id, ascending community id — so Q is
+	// bit-identical from run to run.
 	in := make(map[int]float64)
 	tot := make(map[int]float64)
 	for u := 0; u < g.n; u++ {
 		tot[comm[u]] += g.Degree(u)
 		in[comm[u]] += 2 * g.self[u]
-		for v, w := range g.adj[u] {
+		for _, v := range sortedNeighbors(g.adj[u]) {
 			if comm[u] == comm[v] {
-				in[comm[u]] += w // counted from both ends → 2×w total
+				in[comm[u]] += g.adj[u][v] // counted from both ends → 2×w total
 			}
 		}
 	}
-	q := 0.0
-	for c, inw := range in {
-		q += inw/(2*m) - (tot[c]/(2*m))*(tot[c]/(2*m))
+	comms := make([]int, 0, len(tot))
+	for c := range tot {
+		comms = append(comms, c)
 	}
-	// Communities with no internal edges still contribute the degree term.
-	for c, tw := range tot {
-		if _, ok := in[c]; !ok {
-			q -= (tw / (2 * m)) * (tw / (2 * m))
-		}
+	sort.Ints(comms)
+	q := 0.0
+	// Communities with no internal edges still contribute the degree term
+	// (in[c] is zero for them).
+	for _, c := range comms {
+		q += in[c]/(2*m) - (tot[c]/(2*m))*(tot[c]/(2*m))
 	}
 	return q
 }

@@ -95,7 +95,7 @@ func NewEngine(workers, depth int, timeout time.Duration, run func(ctx context.C
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go e.worker()
+		go e.worker() //mawilint:allow baregoroutine — long-lived job workers over a bounded queue; jobs are independent, keyed by digest, and drained by Close
 	}
 	return e
 }
@@ -176,7 +176,7 @@ func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Unlock()
 
 	done := make(chan struct{})
-	go func() {
+	go func() { //mawilint:allow baregoroutine — drain helper converting wg.Wait into a channel for the ctx select; one per shutdown
 		e.wg.Wait()
 		close(done)
 	}()

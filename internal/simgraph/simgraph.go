@@ -148,7 +148,7 @@ func intersections(ctx context.Context, sets []Set, workers int) ([]pair, []int,
 		owners := make(map[uint64][]int32)
 		for i, s := range sets {
 			for id := range s {
-				owners[id] = append(owners[id], int32(i))
+				owners[id] = append(owners[id], int32(i)) //mawilint:allow maprange — each id occurs once per set, so every owner list collects i in ascending set order whatever the iteration order
 			}
 		}
 		shardCounts = []map[pair]int{countPairs(owners)}
@@ -161,7 +161,7 @@ func intersections(ctx context.Context, sets []Set, workers int) ([]pair, []int,
 			b := make([][]uint64, nshards)
 			for id := range sets[i] {
 				s := shardOf(id, nshards)
-				b[s] = append(b[s], id)
+				b[s] = append(b[s], id) //mawilint:allow maprange — bucket-internal order is discarded: stage 2 counts ids into per-shard maps and merges in sorted-pair order
 			}
 			buckets[i] = b
 			return nil

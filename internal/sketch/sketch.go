@@ -8,7 +8,11 @@
 // trick that makes PCA able to report *which* source caused an anomaly.
 package sketch
 
-import "mawilab/internal/trace"
+import (
+	"sort"
+
+	"mawilab/internal/trace"
+)
 
 // Sketch hashes IPv4 addresses into Bins buckets with a seeded 64-bit
 // mix function (splitmix64 finalizer), giving near-uniform spread and
@@ -78,17 +82,14 @@ func (g *Group) TopHosts(b, k int) []trace.IPv4 {
 	for ip, n := range g.byBin[b] {
 		hosts = append(hosts, hc{ip, n})
 	}
-	// insertion sort — bins hold few distinct hosts
-	for i := 1; i < len(hosts); i++ {
-		for j := i; j > 0; j-- {
-			a, b2 := hosts[j-1], hosts[j]
-			if b2.n > a.n || (b2.n == a.n && b2.ip < a.ip) {
-				hosts[j-1], hosts[j] = hosts[j], hosts[j-1]
-			} else {
-				break
-			}
+	// Total order (count desc, address asc), so the result is independent
+	// of the map-iteration order the slice was collected in.
+	sort.Slice(hosts, func(i, j int) bool {
+		if hosts[i].n != hosts[j].n {
+			return hosts[i].n > hosts[j].n
 		}
-	}
+		return hosts[i].ip < hosts[j].ip
+	})
 	if k > len(hosts) {
 		k = len(hosts)
 	}

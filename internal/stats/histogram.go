@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -63,14 +64,28 @@ func (h *Histogram) Entropy() float64 {
 	if h.total == 0 {
 		return 0
 	}
+	// Sum in ascending key order: float accumulation of p·log2(p) terms
+	// is not associative, so map-iteration order would leak into the low
+	// bits of the entropy from run to run.
 	e := 0.0
-	for _, c := range h.counts {
-		if c > 0 {
+	for _, k := range sortedBins(h.counts) {
+		if c := h.counts[k]; c > 0 {
 			p := c / h.total
 			e -= p * math.Log2(p)
 		}
 	}
 	return e
+}
+
+// sortedBins returns m's keys ascending — the canonical order for every
+// inexact float accumulation over a histogram's support.
+func sortedBins(m map[uint64]float64) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // KLDivergence returns D(h || q) in bits, computed over the union of the two
@@ -84,16 +99,20 @@ func (h *Histogram) KLDivergence(q *Histogram, eps float64) float64 {
 	if eps <= 0 {
 		eps = 1e-6
 	}
-	support := make(map[uint64]struct{}, len(h.counts)+len(q.counts))
+	// The union support as a sorted slice: deterministic accumulation
+	// order for the same reason as Entropy, and no map needed at all.
+	support := make([]uint64, 0, len(h.counts)+len(q.counts))
 	for k := range h.counts {
-		support[k] = struct{}{}
+		support = append(support, k)
 	}
 	for k := range q.counts {
-		support[k] = struct{}{}
+		support = append(support, k)
 	}
+	slices.Sort(support)
+	support = slices.Compact(support)
 	n := float64(len(support))
 	d := 0.0
-	for k := range support {
+	for _, k := range support {
 		p := (h.counts[k] + eps) / (h.total + eps*n)
 		qq := (q.counts[k] + eps) / (q.total + eps*n)
 		d += p * math.Log2(p/qq)

@@ -130,7 +130,7 @@ func BuildIndex(ctx context.Context, tr *Trace, workers int) (*Index, error) {
 	merged := make(map[FlowKey][]int32)
 	for _, m := range partials {
 		for k, idxs := range m {
-			merged[k] = append(merged[k], idxs...)
+			merged[k] = append(merged[k], idxs...) //mawilint:allow maprange — each flow key occurs at most once per partial, so every run list concatenates in ascending slot order; flow order itself is canonicalized below
 		}
 	}
 

@@ -233,9 +233,9 @@ func (p *Pipeline) observe(stage Stage, f func() error) error {
 	if p.Observe == nil {
 		return f()
 	}
-	start := time.Now()
+	start := time.Now() //mawilint:allow wallclock — observability hook only: the measured latency feeds metrics, never a labeling
 	err := f()
-	p.Observe(stage, time.Since(start).Seconds())
+	p.Observe(stage, time.Since(start).Seconds()) //mawilint:allow wallclock — observability hook only: the measured latency feeds metrics, never a labeling
 	return err
 }
 
@@ -497,7 +497,7 @@ func (p *Pipeline) RunStream(ctx context.Context, packets <-chan Packet) *Stream
 		close(s.done)
 		return s
 	}
-	go func() {
+	go func() { //mawilint:allow baregoroutine — RunStream's single structured producer: window order is fixed by the channel FIFO, lifecycle by s.done and ctx
 		defer close(s.done)
 		defer close(s.windows)
 		segs := trace.Segments(ctx, packets, p.Stream.SegmentSeconds, p.workers())

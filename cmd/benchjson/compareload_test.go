@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mawilab/internal/loadgen"
+)
+
+// loadFixtures writes a baseline and a report to disk and returns their
+// paths; mutate lets each test bend the report before it is written.
+func loadFixtures(t *testing.T, mutate func(*loadgen.Report)) (baselinePath, reportPath string) {
+	t.Helper()
+	rep := &loadgen.Report{
+		Schema:          loadgen.ReportSchema,
+		Scenario:        "smoke",
+		Mix:             loadgen.DefaultMix.String(),
+		Clients:         8,
+		OpsPerClient:    20,
+		DurationSeconds: 2,
+		Ops: map[string]loadgen.OpStats{
+			loadgen.OpUpload: {Count: 60, ThroughputOps: 30, P50Ms: 5, P99Ms: 20, MaxMs: 30},
+			loadgen.OpRead:   {Count: 100, ThroughputOps: 50, P50Ms: 1, P99Ms: 4, MaxMs: 6},
+			loadgen.OpTotal:  {Count: 160, ThroughputOps: 80, P50Ms: 2, P99Ms: 15, MaxMs: 30},
+		},
+	}
+	baseline := loadgen.DeriveBaseline(rep, 2)
+	if mutate != nil {
+		mutate(rep)
+	}
+	dir := t.TempDir()
+	baselinePath = filepath.Join(dir, "LOAD_baseline.json")
+	reportPath = filepath.Join(dir, "LOAD_report.json")
+	bf, err := os.Create(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadgen.WriteBaseline(bf, baseline); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	rf, err := os.Create(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadgen.WriteReport(rf, rep); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	return baselinePath, reportPath
+}
+
+// TestCompareLoadImprovementPasses: a report faster than its baseline
+// passes, with per-gate info lines.
+func TestCompareLoadImprovementPasses(t *testing.T) {
+	bp, rp := loadFixtures(t, func(r *loadgen.Report) {
+		st := r.Ops[loadgen.OpTotal]
+		st.ThroughputOps *= 2 // improvement
+		st.P99Ms /= 2
+		r.Ops[loadgen.OpTotal] = st
+	})
+	var sb strings.Builder
+	violations, err := compareLoad(&sb, bp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("violations = %v\n%s", violations, sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok   total:") {
+		t.Errorf("no info line for the improved op:\n%s", sb.String())
+	}
+}
+
+// TestCompareLoadRegressionFails: throughput collapse past the baseline
+// floor and p99 blowup past the ceiling each violate the gate.
+func TestCompareLoadRegressionFails(t *testing.T) {
+	bp, rp := loadFixtures(t, func(r *loadgen.Report) {
+		st := r.Ops[loadgen.OpUpload]
+		st.ThroughputOps /= 10 // below the 2x-slack floor
+		st.P99Ms *= 10         // above the 2x-slack ceiling
+		r.Ops[loadgen.OpUpload] = st
+	})
+	var sb strings.Builder
+	violations, err := compareLoad(&sb, bp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want throughput + p99\n%s", violations, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL upload: throughput") || !strings.Contains(sb.String(), "FAIL upload: p99") {
+		t.Errorf("FAIL lines missing:\n%s", sb.String())
+	}
+}
+
+// TestCompareLoadMissingOpFails: an op the baseline gates but the report
+// never exercised is a violation — a scenario that quietly dropped its
+// upload traffic must not pass the upload gate.
+func TestCompareLoadMissingOpFails(t *testing.T) {
+	bp, rp := loadFixtures(t, func(r *loadgen.Report) {
+		read := r.Ops[loadgen.OpRead]
+		up := r.Ops[loadgen.OpUpload]
+		read.Count += up.Count // keep Validate()'s sum-to-total invariant
+		r.Ops[loadgen.OpRead] = read
+		delete(r.Ops, loadgen.OpUpload)
+	})
+	var sb strings.Builder
+	violations, err := compareLoad(&sb, bp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "missing from report") {
+		t.Fatalf("violations = %v, want missing-op violation\n%s", violations, sb.String())
+	}
+}
+
+// TestCompareLoadFailedRunFails: a fast run with recorded divergences is a
+// gate violation regardless of its numbers.
+func TestCompareLoadFailedRunFails(t *testing.T) {
+	bp, rp := loadFixtures(t, func(r *loadgen.Report) {
+		r.Divergences = []string{"served CSV for x differs from local reference"}
+	})
+	var sb strings.Builder
+	violations, err := compareLoad(&sb, bp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "divergence") {
+		t.Fatalf("violations = %v, want self-check violation", violations)
+	}
+}
+
+// TestCompareLoadBadFiles: unreadable or mismatched-schema inputs are usage
+// errors, not gate results.
+func TestCompareLoadBadFiles(t *testing.T) {
+	bp, rp := loadFixtures(t, nil)
+	if _, err := compareLoad(&strings.Builder{}, bp, filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing report accepted")
+	}
+	if _, err := compareLoad(&strings.Builder{}, filepath.Join(t.TempDir(), "absent.json"), rp); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}

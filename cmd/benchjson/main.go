@@ -11,7 +11,15 @@
 //
 //	benchjson -compare BENCH_baseline.json BENCH_ci.json -threshold 0.25
 //
-// compares two such JSON files and exits non-zero when any benchmark present
+// and the load-test regression gate:
+//
+//	benchjson -compare-load LOAD_baseline.json LOAD_report.json
+//
+// which checks a mawiload report against the committed baseline's
+// throughput floors and p99 ceilings (and the report's own correctness
+// verdict), exiting non-zero on any violation.
+//
+// -compare compares two bench JSON files and exits non-zero when any benchmark present
 // in both regresses — new ns/op exceeds old by more than the threshold
 // fraction (default 0.25) — or when a benchmark in the new run has no
 // baseline entry at all: an ungated benchmark is an untracked perf path, so
@@ -29,6 +37,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"mawilab/internal/loadgen"
 )
 
 // Record is one benchmark result line.
@@ -46,41 +56,63 @@ type Record struct {
 }
 
 func main() {
-	oldPath, newPath, threshold, err := parseArgs(os.Args[1:])
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, returning the exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && (args[0] == "-compare-load" || args[0] == "--compare-load") {
+		if len(args) != 3 {
+			fmt.Fprintln(stderr, "benchjson: -compare-load needs two files: LOAD_baseline.json LOAD_report.json")
+			return 2
+		}
+		violations, err := compareLoad(stdout, args[1], args[2])
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 2
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(stderr, "benchjson: %d load-gate violation(s)\n", len(violations))
+			return 1
+		}
+		return 0
+	}
+	oldPath, newPath, threshold, err := parseArgs(args)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
 	}
 	if oldPath != "" {
-		regressions, tracked, missing, err := compareFiles(os.Stdout, oldPath, newPath, threshold)
+		regressions, tracked, missing, err := compareFiles(stdout, oldPath, newPath, threshold)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 2
 		}
 		if tracked == 0 {
 			// A gate that tracks nothing is a gate that can never fail —
 			// misnamed baseline entries must be loud, not green.
-			fmt.Fprintf(os.Stderr, "benchjson: no benchmark appears in both %s and %s; the gate would be vacuous\n", oldPath, newPath)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "benchjson: no benchmark appears in both %s and %s; the gate would be vacuous\n", oldPath, newPath)
+			return 2
 		}
 		failed := false
 		if regressions > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.0f%%\n", regressions, threshold*100)
+			fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed past %.0f%%\n", regressions, threshold*100)
 			failed = true
 		}
 		if missing > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) missing from %s; refresh it with `make bench-baseline`\n", missing, oldPath)
+			fmt.Fprintf(stderr, "benchjson: %d benchmark(s) missing from %s; refresh it with `make bench-baseline`\n", missing, oldPath)
 			failed = true
 		}
 		if failed {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
-	if err := convert(os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	if err := convert(stdin, stdout); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
 // parseArgs hand-parses the flags so `-compare old.json new.json` can take
@@ -114,6 +146,27 @@ func parseArgs(args []string) (oldPath, newPath string, threshold float64, err e
 		return "", "", 0, fmt.Errorf("-threshold is only meaningful with -compare old.json new.json")
 	}
 	return oldPath, newPath, threshold, nil
+}
+
+// compareLoad gates a mawiload report against the committed load baseline:
+// throughput floors, p99 ceilings, and the report's own correctness verdict
+// (a load run that mislabeled or failed reconciliation must not pass the
+// perf gate, however fast it was).
+func compareLoad(w io.Writer, baselinePath, reportPath string) ([]string, error) {
+	b, err := loadgen.ReadBaselineFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	r, err := loadgen.ReadReportFile(reportPath)
+	if err != nil {
+		return nil, err
+	}
+	violations := loadgen.CompareBaseline(w, b, r)
+	if err := r.Err(); err != nil {
+		violations = append(violations, err.Error())
+		fmt.Fprintf(w, "FAIL report self-check: %v\n", err)
+	}
+	return violations, nil
 }
 
 // convert reads bench text from r and writes the JSON records to w.

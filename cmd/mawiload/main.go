@@ -1,0 +1,238 @@
+// Command mawiload is the mawilabd load/soak harness: it replays a
+// configurable mix of concurrent pcap uploads, duplicate uploads (the
+// cache-hit path), label reads, community queries and health probes
+// against a running daemon, measures client-observed latency, cross-checks
+// the server's /metrics counters against the client tallies, and verifies
+// every served labeling byte-for-byte against a locally computed reference.
+// "Handles heavy traffic" is a measured claim here, and a load run that
+// mislabels a single byte fails regardless of throughput.
+//
+// Usage:
+//
+//	mawiload -boot -out LOAD_report.json              # self-hosted smoke
+//	mawiload -url http://127.0.0.1:7077 -clients 32   # against a live daemon
+//	mawiload -boot -compare LOAD_baseline.json        # CI regression gate
+//	mawiload -boot -baseline-out LOAD_baseline.json   # refresh the gate
+//
+// Exit status: 0 = run correct and within gates; 1 = divergence,
+// reconciliation mismatch, protocol error or gate violation; 2 = usage.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"mawilab/internal/loadgen"
+	"mawilab/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the whole CLI flow is
+// unit-testable in-process; it returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mawiload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url         = fs.String("url", "", "daemon under test (http://host:port); empty requires -boot")
+		boot        = fs.Bool("boot", false, "boot an in-process mawilabd on 127.0.0.1:0 and load it")
+		scenario    = fs.String("scenario", "smoke", "scenario name recorded in the report and keyed by the baseline")
+		clients     = fs.Int("clients", 8, "closed-loop client count")
+		ops         = fs.Int("ops", 20, "operations per client")
+		mixSpec     = fs.String("mix", "", "operation mix, e.g. upload=4,dup=2,read=2,community=1,health=1 (empty = default)")
+		seed        = fs.Int64("seed", 1, "seed for the corpus and per-client op streams")
+		rps         = fs.Float64("rps", 0, "open-loop aggregate target rate (0 = closed-loop)")
+		warmAll     = fs.Bool("warm-all", false, "pre-upload the whole corpus before measuring (warm-start scenario)")
+		traces      = fs.Int("traces", 3, "distinct corpus traces")
+		traceSecs   = fs.Float64("trace-duration", 5, "synthetic trace duration (seconds)")
+		traceRate   = fs.Float64("trace-rate", 100, "synthetic trace base packet rate (pkt/s)")
+		outPath     = fs.String("out", "", "write LOAD_report.json here")
+		basePath    = fs.String("baseline-out", "", "derive a regression baseline from this run and write it here")
+		slack       = fs.Float64("slack", 4, "baseline headroom factor for -baseline-out (4 = tolerate 4x)")
+		comparePath = fs.String("compare", "", "compare the run against this committed baseline; violations fail")
+		bootWorkers = fs.Int("boot-job-workers", 2, "-boot daemon: concurrent labeling jobs")
+		bootQueue   = fs.Int("boot-queue", 16, "-boot daemon: admission queue depth")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mawiload: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if (*url == "") == !*boot {
+		fmt.Fprintln(stderr, "mawiload: exactly one of -url and -boot is required")
+		return 2
+	}
+	mix, err := loadgen.ParseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "mawiload: %v\n", err)
+		return 2
+	}
+
+	base := *url
+	if *boot {
+		shutdown, addr, err := bootDaemon(*bootWorkers, *bootQueue)
+		if err != nil {
+			fmt.Fprintf(stderr, "mawiload: boot: %v\n", err)
+			return 1
+		}
+		defer shutdown()
+		base = "http://" + addr
+		fmt.Fprintf(stderr, "mawiload: booted mawilabd on %s\n", addr)
+	}
+
+	fmt.Fprintf(stderr, "mawiload: building corpus (%d traces)\n", *traces)
+	corpus, err := loadgen.BuildCorpus(ctx, loadgen.CorpusConfig{
+		Traces:   *traces,
+		Seed:     *seed,
+		Duration: *traceSecs,
+		BaseRate: *traceRate,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mawiload: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stderr, "mawiload: scenario=%s clients=%d ops=%d mix=%s target=%s\n",
+		*scenario, *clients, *ops, mix, base)
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:      base,
+		Corpus:       corpus,
+		Scenario:     *scenario,
+		Clients:      *clients,
+		OpsPerClient: *ops,
+		TargetRPS:    *rps,
+		Mix:          mix,
+		Seed:         *seed,
+		WarmAll:      *warmAll,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mawiload: %v\n", err)
+		return 1
+	}
+
+	if *outPath != "" {
+		if err := writeFile(*outPath, func(f *os.File) error { return loadgen.WriteReport(f, rep) }); err != nil {
+			fmt.Fprintf(stderr, "mawiload: writing report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "mawiload: report written to %s\n", *outPath)
+	}
+	if *basePath != "" {
+		b := loadgen.DeriveBaseline(rep, *slack)
+		if err := writeFile(*basePath, func(f *os.File) error { return loadgen.WriteBaseline(f, b) }); err != nil {
+			fmt.Fprintf(stderr, "mawiload: writing baseline: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "mawiload: baseline (slack %.1fx) written to %s\n", *slack, *basePath)
+	}
+
+	summarize(stdout, rep)
+	failed := false
+	if err := rep.Err(); err != nil {
+		fmt.Fprintf(stderr, "mawiload: %v\n", err)
+		failed = true
+	}
+	if *comparePath != "" {
+		b, err := loadgen.ReadBaselineFile(*comparePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "mawiload: %v\n", err)
+			return 1
+		}
+		if violations := loadgen.CompareBaseline(stdout, b, rep); len(violations) > 0 {
+			fmt.Fprintf(stderr, "mawiload: %d gate violation(s) vs %s\n", len(violations), *comparePath)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// bootDaemon starts an in-process mawilabd on a random loopback port with a
+// throwaway store, so `mawiload -boot` is a one-command smoke.
+func bootDaemon(jobWorkers, queueDepth int) (shutdown func(), addr string, err error) {
+	storeDir, err := os.MkdirTemp("", "mawiload-store-*")
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := serve.New(serve.Config{
+		StoreDir:        storeDir,
+		PipelineWorkers: runtime.GOMAXPROCS(0),
+		JobWorkers:      jobWorkers,
+		QueueDepth:      queueDepth,
+	})
+	if err != nil {
+		os.RemoveAll(storeDir)
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(storeDir)
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() { //mawilint:allow baregoroutine — the boot daemon's accept loop; terminated by srv.Close in shutdown and joined via done
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	shutdown = func() {
+		_ = srv.Close()
+		<-done
+		os.RemoveAll(storeDir)
+	}
+	return shutdown, ln.Addr().String(), nil
+}
+
+// summarize prints the human-readable digest of the run to stdout (the
+// machine-readable form is -out).
+func summarize(w io.Writer, rep *loadgen.Report) {
+	tot := rep.Ops[loadgen.OpTotal]
+	fmt.Fprintf(w, "scenario=%s clients=%d ops/client=%d duration=%.2fs\n",
+		rep.Scenario, rep.Clients, rep.OpsPerClient, rep.DurationSeconds)
+	fmt.Fprintf(w, "total: %d ops, %.1f ops/s, p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		tot.Count, tot.ThroughputOps, tot.P50Ms, tot.P95Ms, tot.P99Ms, tot.MaxMs)
+	for _, op := range []string{loadgen.OpUpload, loadgen.OpDup, loadgen.OpRead, loadgen.OpCommunity, loadgen.OpHealth} {
+		st, ok := rep.Ops[op]
+		if !ok || st.Count == 0 {
+			continue
+		}
+		line := fmt.Sprintf("%-9s %5d ops, %.1f ops/s, p99=%.2fms", op, st.Count, st.ThroughputOps, st.P99Ms)
+		if st.Rejected429 > 0 {
+			line += fmt.Sprintf(", %d×429", st.Rejected429)
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "server: uploads=%g hits=%g misses=%g jobs=%g rejected=%g index_hits=%g\n",
+		rep.Server.Uploads, rep.Server.CacheHits, rep.Server.CacheMisses,
+		rep.Server.JobsDone, rep.Server.RejectedQueueFull, rep.Server.IndexCacheHits)
+	fmt.Fprintf(w, "verify: %d labeled, %d divergences, %d reconciliation mismatches, %d errors\n",
+		len(rep.Labeled), len(rep.Divergences), len(rep.Reconciliation), len(rep.Errors))
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

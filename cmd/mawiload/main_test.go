@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mawilab/internal/loadgen"
+)
+
+// TestLoadSmoke is the black-box harness check behind `make load-smoke`: it
+// builds the real mawiload binary, runs a self-hosted (-boot) load at small
+// scale, requires exit 0 (zero divergences, clean reconciliation), then
+// round-trips the emitted report, derives a baseline from it, and re-gates
+// the same report against that baseline through a second binary run.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec-based smoke test skipped in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "mawiload")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "LOAD_report.json")
+	baselinePath := filepath.Join(dir, "LOAD_baseline.json")
+
+	cmd := exec.Command(bin,
+		"-boot", "-scenario", "smoke",
+		"-clients", "8", "-ops", "20", "-seed", "1",
+		"-traces", "3", "-trace-duration", "4", "-trace-rate", "60",
+		// Slack far beyond the committed baseline's 4x: this test pins the
+		// gate mechanics, and the two timing runs happen back-to-back on a
+		// machine also running the rest of the suite — real perf gating is
+		// the load-gate CI job against LOAD_baseline.json.
+		"-out", reportPath, "-baseline-out", baselinePath, "-slack", "50",
+	)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mawiload -boot failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 divergences") {
+		t.Errorf("summary does not report zero divergences:\n%s", out)
+	}
+
+	rep, err := loadgen.ReadReportFile(reportPath)
+	if err != nil {
+		t.Fatalf("emitted report does not round-trip: %v", err)
+	}
+	if rep.Scenario != "smoke" || rep.Ops[loadgen.OpTotal].Count != 8*20 {
+		t.Fatalf("report shape: scenario=%q total=%d", rep.Scenario, rep.Ops[loadgen.OpTotal].Count)
+	}
+	if rep.Server.CacheHits == 0 {
+		t.Error("smoke run saw no cache hits")
+	}
+
+	// The derived baseline must gate a fresh run of the same scenario —
+	// with its timing thresholds relaxed, since this asserts the gate
+	// mechanics, not machine speed.
+	relaxTimingGates(t, baselinePath)
+	gate := exec.Command(bin,
+		"-boot", "-scenario", "smoke",
+		"-clients", "8", "-ops", "20", "-seed", "2",
+		"-traces", "3", "-trace-duration", "4", "-trace-rate", "60",
+		"-compare", baselinePath,
+	)
+	out, err = gate.CombinedOutput()
+	if err != nil {
+		t.Fatalf("gated run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ok   total:") {
+		t.Errorf("gate output missing total verdict:\n%s", out)
+	}
+}
+
+// TestRunInProcess drives the full CLI flow through run() without exec, so
+// the flag parsing, boot, report/baseline writing and gate paths are all
+// exercised in-process: a passing self-hosted run that writes both files,
+// then a second run gated against the first's baseline.
+func TestRunInProcess(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	baselinePath := filepath.Join(dir, "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-boot", "-scenario", "inproc",
+		"-clients", "4", "-ops", "8", "-seed", "5",
+		"-traces", "2", "-trace-duration", "3", "-trace-rate", "50",
+		"-out", reportPath, "-baseline-out", baselinePath, "-slack", "50",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "0 divergences") {
+		t.Errorf("summary missing zero-divergence line:\n%s", stdout.String())
+	}
+	if _, err := loadgen.ReadReportFile(reportPath); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if _, err := loadgen.ReadBaselineFile(baselinePath); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	relaxTimingGates(t, baselinePath)
+
+	stdout.Reset()
+	stderr.Reset()
+	// Same seed as the baseline run: op streams are deterministic in
+	// (seed, client), so every op class the baseline gates is guaranteed
+	// to appear again at this small scale.
+	code = run(context.Background(), []string{
+		"-boot", "-scenario", "inproc",
+		"-clients", "4", "-ops", "8", "-seed", "5",
+		"-traces", "2", "-trace-duration", "3", "-trace-rate", "50",
+		"-compare", baselinePath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("gated run = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok   total:") {
+		t.Errorf("gate verdicts missing:\n%s", stdout.String())
+	}
+
+	// A scenario-mismatched baseline is a gate violation -> exit 1.
+	code = run(context.Background(), []string{
+		"-boot", "-scenario", "other",
+		"-clients", "2", "-ops", "4",
+		"-traces", "2", "-trace-duration", "3", "-trace-rate", "50",
+		"-compare", baselinePath,
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("mismatched-scenario gate = %d, want 1", code)
+	}
+}
+
+// relaxTimingGates rewrites a derived baseline with effectively-disabled
+// throughput floors and p99 ceilings. These tests pin the gate *mechanics*
+// (derive -> write -> read -> compare -> verdict lines -> exit code); the
+// timing numbers themselves are meaningless when the whole test suite
+// shares one machine — a parallel `go test ./...` has been observed to
+// slow a run 30x past any sane slack. Real perf gating is the CI load-gate
+// job against the committed LOAD_baseline.json.
+func relaxTimingGates(t *testing.T, path string) {
+	t.Helper()
+	b, err := loadgen.ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, g := range b.Gates {
+		g.MinThroughputOps /= 1e6
+		g.MaxP99Ms *= 1e6
+		b.Gates[op] = g
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadgen.WriteBaseline(f, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunUsageErrors pins the exit-2 contract without exec.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                            // neither -url nor -boot
+		{"-boot", "-url", "http://x"}, // both
+		{"-boot", "-mix", "nope=1"},   // bad mix
+		{"-boot", "stray"},            // stray operand
+		{"-no-such-flag"},             // unknown flag
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2\n%s", args, code, stderr.String())
+		}
+	}
+	// A missing -compare file is an operational failure, not usage.
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-boot", "-clients", "2", "-ops", "2",
+		"-traces", "2", "-trace-duration", "3", "-trace-rate", "50",
+		"-compare", filepath.Join(t.TempDir(), "absent.json"),
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("missing baseline: run = %d, want 1", code)
+	}
+}

@@ -1,0 +1,245 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"mawilab/internal/analysis"
+	"mawilab/internal/analysis/load"
+)
+
+const fixtureSrc = `package fix
+
+type T struct{ F int }
+
+func (T) M() int { return 1 }
+
+func helper() {}
+
+var shared map[string]int
+
+func f(a float64) float64 {
+	helper()
+	_ = T{}.M()
+	g := func(b int) int { return b }
+	_ = g(1)
+	p := &a
+	_ = *p
+	_ = shared["k"]
+	return a + 1
+}
+`
+
+// loadFixture type-checks fixtureSrc (no imports, so no importer needed)
+// and returns a pass plus the parsed file.
+func loadFixture(t *testing.T) (*analysis.Pass, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fix.go", fixtureSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := load.NewInfo()
+	pkg, err := (&types.Config{}).Check("fix", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &analysis.Analyzer{Name: "probe", Doc: "test probe"}
+	return analysis.NewPass(a, fset, []*ast.File{file}, pkg, info), file
+}
+
+func TestPassReportf(t *testing.T) {
+	pass, file := loadFixture(t)
+	pass.Reportf(file.Name.Pos(), "package %s inspected", "fix")
+	diags := pass.Diagnostics()
+	if len(diags) != 1 || diags[0].Analyzer != "probe" {
+		t.Fatalf("diagnostics = %v", diags)
+	}
+	if s := diags[0].String(); !strings.Contains(s, "fix.go:1:9: probe: package fix inspected") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestWithStackAndEnclosingFunc(t *testing.T) {
+	pass, file := loadFixture(t)
+	var (
+		sawReturnInFunc bool
+		sawPackageScope bool
+	)
+	analysis.WithStack([]*ast.File{file}, func(n ast.Node, stack []ast.Node) bool {
+		if stack[len(stack)-1] != n {
+			t.Fatal("stack top is not the visited node")
+		}
+		switch n.(type) {
+		case *ast.ReturnStmt:
+			if analysis.EnclosingFunc(stack) != nil {
+				sawReturnInFunc = true
+			}
+		case *ast.GenDecl:
+			if analysis.EnclosingFunc(stack) == nil {
+				sawPackageScope = true
+			}
+			return false // skip children: exercises the pop-on-false path
+		}
+		return true
+	})
+	if !sawReturnInFunc || !sawPackageScope {
+		t.Errorf("return-in-func=%v package-scope=%v", sawReturnInFunc, sawPackageScope)
+	}
+	_ = pass
+}
+
+func TestFuncParamsAndBody(t *testing.T) {
+	_, file := loadFixture(t)
+	var decl *ast.FuncDecl
+	var lit *ast.FuncLit
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Name.Name == "f" {
+				decl = fn
+			}
+		case *ast.FuncLit:
+			lit = fn
+		}
+		return true
+	})
+	if analysis.FuncParams(decl).NumFields() != 1 || analysis.FuncBody(decl) == nil {
+		t.Error("FuncDecl params/body not resolved")
+	}
+	if analysis.FuncParams(lit).NumFields() != 1 || analysis.FuncBody(lit) == nil {
+		t.Error("FuncLit params/body not resolved")
+	}
+	if analysis.FuncParams(file) != nil || analysis.FuncBody(file) != nil {
+		t.Error("non-func node yielded params/body")
+	}
+}
+
+func TestCallee(t *testing.T) {
+	pass, file := loadFixture(t)
+	got := map[string]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pass.Callee(call); fn != nil {
+			got[fn.Name()] = true
+		}
+		return true
+	})
+	if !got["helper"] {
+		t.Error("direct call not resolved")
+	}
+	if !got["M"] {
+		t.Error("method call not resolved")
+	}
+	if got["g"] {
+		t.Error("call of a function-typed variable resolved to a *types.Func")
+	}
+}
+
+func TestRootIdentAndDeclaredWithin(t *testing.T) {
+	pass, file := loadFixture(t)
+	var fDecl *ast.FuncDecl
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fn, ok := n.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			fDecl = fn
+		}
+		return true
+	})
+	for src, want := range map[ast.Expr]string{
+		mustParseExpr(t, "a"):      "a",
+		mustParseExpr(t, "t.F"):    "t",
+		mustParseExpr(t, `m["k"]`): "m",
+		mustParseExpr(t, "*p"):     "p",
+		mustParseExpr(t, "(a)"):    "a",
+		mustParseExpr(t, "&a"):     "a",
+		mustParseExpr(t, "f(1)"):   "",
+	} {
+		id := analysis.RootIdent(src)
+		if want == "" {
+			if id != nil {
+				t.Errorf("RootIdent resolved %v", id)
+			}
+			continue
+		}
+		if id == nil || id.Name != want {
+			t.Errorf("RootIdent = %v, want %s", id, want)
+		}
+	}
+
+	sharedObj := pass.Pkg.Scope().Lookup("shared")
+	if analysis.DeclaredWithin(sharedObj, fDecl) {
+		t.Error("package var reported as declared within f")
+	}
+	var localObj types.Object
+	for id, obj := range pass.TypesInfo.Defs {
+		if id.Name == "p" {
+			localObj = obj
+		}
+	}
+	if !analysis.DeclaredWithin(localObj, fDecl) {
+		t.Error("local var not reported as declared within f")
+	}
+	if analysis.DeclaredWithin(nil, fDecl) {
+		t.Error("nil object declared within")
+	}
+}
+
+func mustParseExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTypePredicates(t *testing.T) {
+	pass, _ := loadFixture(t)
+	scope := pass.Pkg.Scope()
+	if !analysis.IsMap(scope.Lookup("shared").Type()) {
+		t.Error("map type not recognised")
+	}
+	if analysis.IsMap(scope.Lookup("helper").Type()) || analysis.IsMap(nil) {
+		t.Error("non-map recognised as map")
+	}
+	if !analysis.IsFloat(types.Typ[types.Float64]) || !analysis.IsFloat(types.Typ[types.Complex128]) {
+		t.Error("float/complex not recognised")
+	}
+	if analysis.IsFloat(types.Typ[types.Int]) || analysis.IsFloat(nil) {
+		t.Error("non-float recognised as float")
+	}
+}
+
+func TestMentionsTypeOfObjectOf(t *testing.T) {
+	pass, file := loadFixture(t)
+	var ret *ast.ReturnStmt
+	var aObj types.Object
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fn, ok := n.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			aObj = pass.ObjectOf(fn.Type.Params.List[0].Names[0])
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r // last return in source order: f's `return a + 1`
+		}
+		return true
+	})
+	if aObj == nil || ret == nil {
+		t.Fatal("fixture shapes missing")
+	}
+	if !pass.Mentions(ret.Results[0], aObj) {
+		t.Error("`a + 1` does not mention a")
+	}
+	if pass.Mentions(mustParseExpr(t, "1+2"), aObj) {
+		t.Error("constant expression mentions a")
+	}
+	if typ := pass.TypeOf(ret.Results[0]); !analysis.IsFloat(typ) {
+		t.Errorf("TypeOf(a+1) = %v", typ)
+	}
+}

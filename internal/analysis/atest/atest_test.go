@@ -1,0 +1,64 @@
+package atest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mawilab/internal/analysis"
+)
+
+// toyAnalyzer reports every return statement; enough to prove the
+// harness matches diagnostics against want comments.
+var toyAnalyzer = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "reports return statements (harness self-test)",
+	Run: func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					p.Reportf(r.Pos(), "return in %s", p.Pkg.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunMatchesWants exercises the harness end-to-end on a fixture that
+// imports stdlib (so export-data resolution runs), with both backquoted
+// and double-quoted want patterns across two files.
+func TestRunMatchesWants(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"a.go": "package fix\n\nimport \"fmt\"\n\nfunc F() string {\n\treturn fmt.Sprint(1) // want `return in fix`\n}\n",
+		"b.go": "package fix\n\nfunc G() int {\n\treturn 2 // want \"return in fix\"\n}\n",
+	})
+	Run(t, toyAnalyzer, dir)
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := writeFixture(t, map[string]string{
+		"only.go": "package fix\n\nfunc H() {}\n",
+		"not-go":  "ignored",
+	})
+	pkg := LoadDir(t, dir, "fixture/only")
+	if pkg.Types.Name() != "fix" || len(pkg.Files) != 1 {
+		t.Errorf("loaded %s with %d files", pkg.Types.Name(), len(pkg.Files))
+	}
+	if pkg.ImportPath != "fixture/only" {
+		t.Errorf("import path = %q", pkg.ImportPath)
+	}
+}

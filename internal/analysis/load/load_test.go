@@ -1,0 +1,108 @@
+package load
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestPackagesLoadsSelf loads this very package through the production
+// path: go list -deps -export, export-data import resolution, full
+// type-check. It is the loader's own integration test.
+func TestPackagesLoadsSelf(t *testing.T) {
+	pkgs, err := Packages(".", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types.Name() != "load" || !strings.HasSuffix(p.ImportPath, "internal/analysis/load") {
+		t.Errorf("loaded %q (package %s)", p.ImportPath, p.Types.Name())
+	}
+	// Test files must be excluded: the determinism contract governs
+	// shipped code only.
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s loaded", name)
+		}
+	}
+	if len(p.Info.Defs) == 0 {
+		t.Error("type info not populated")
+	}
+}
+
+func TestPackagesDefaultPattern(t *testing.T) {
+	pkgs, err := Packages(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("default ./... from the leaf dir loaded %d packages", len(pkgs))
+	}
+}
+
+func TestPackagesBadPattern(t *testing.T) {
+	if _, err := Packages(".", "./no-such-dir"); err == nil {
+		t.Error("nonexistent pattern loaded without error")
+	}
+}
+
+func TestExportLookup(t *testing.T) {
+	lookup, err := ExportLookup(".", "fmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := lookup("fmt")
+	if err != nil {
+		t.Fatalf("no export data for fmt: %v", err)
+	}
+	rc.Close()
+	if _, err := lookup("no/such/package"); err == nil {
+		t.Error("unknown import path resolved")
+	}
+
+	empty, err := ExportLookup(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty("fmt"); err == nil {
+		t.Error("empty lookup resolved an import")
+	}
+
+	if _, err := ExportLookup(".", "./no-such-dir"); err == nil {
+		t.Error("bad pattern produced a lookup")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	lookup, err := ExportLookup(".", "fmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	src := "package p\n\nimport \"fmt\"\n\nfunc F() string { return fmt.Sprint(1) }\n"
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := Check(fset, lookup, "example/p", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name() != "p" || len(info.Defs) == 0 {
+		t.Errorf("checked package = %v", pkg)
+	}
+
+	bad, err := parser.ParseFile(fset, "bad.go", "package q\n\nfunc G() int { return \"x\" }\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Check(fset, lookup, "example/q", []*ast.File{bad}); err == nil {
+		t.Error("type error not reported")
+	}
+}

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"mawilab"
+)
+
+// TraceRef is one corpus entry: a pcap-encoded synthetic day plus the
+// locally computed reference labeling every served byte is verified
+// against. Digest and CSV are derived from a decode of Pcap — the exact
+// bytes and code path the daemon runs — so client and server provably
+// label the same trace.
+type TraceRef struct {
+	// Name is the upload name used for the trace.
+	Name string
+	// Digest is the trace digest the daemon will key the labeling by.
+	Digest string
+	// Pcap is the encoded trace, the upload body.
+	Pcap []byte
+	// CSV is the reference labeling: Pipeline.Run over the decoded Pcap,
+	// encoded through the shared v1 wire schema.
+	CSV []byte
+}
+
+// Corpus is the harness's working set of distinct traces.
+type Corpus struct {
+	Traces []TraceRef
+}
+
+// CorpusConfig parameterizes BuildCorpus.
+type CorpusConfig struct {
+	// Traces is how many distinct days to generate (default 2).
+	Traces int
+	// Seed derives each day's archive seed (Seed+i), so distinct corpora
+	// are reproducible.
+	Seed int64
+	// Duration and BaseRate shrink the synthetic days to harness scale
+	// (defaults 30s at 200 pkt/s — the golden-fixture day's shape).
+	Duration float64
+	BaseRate float64
+	// Workers is the reference pipeline's worker count (0 = sequential;
+	// every value yields identical bytes).
+	Workers int
+	// NewPipeline overrides the reference pipeline constructor (default
+	// mawilab.NewPipeline). When the target daemon runs a non-default
+	// pipeline — e.g. a test seam — the corpus must compute its reference
+	// with the same one, or verification reports false divergences.
+	NewPipeline func() *mawilab.Pipeline
+}
+
+// BuildCorpus generates n distinct synthetic days, encodes each as pcap,
+// and computes the local reference labeling for the decoded bytes. The
+// whole corpus is deterministic in the config, so a harness run is
+// reproducible end to end.
+func BuildCorpus(ctx context.Context, cfg CorpusConfig) (*Corpus, error) {
+	if cfg.Traces <= 0 {
+		cfg.Traces = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30
+	}
+	if cfg.BaseRate <= 0 {
+		cfg.BaseRate = 200
+	}
+	if cfg.NewPipeline == nil {
+		cfg.NewPipeline = mawilab.NewPipeline
+	}
+	c := &Corpus{}
+	for i := 0; i < cfg.Traces; i++ {
+		arch := mawilab.NewArchive(cfg.Seed + int64(i))
+		arch.Duration = cfg.Duration
+		arch.BaseRate = cfg.BaseRate
+		day := arch.Day(mawilab.Date(2004, 5, 10+i)).Trace
+
+		var pcapBuf bytes.Buffer
+		if err := mawilab.WritePcap(&pcapBuf, day); err != nil {
+			return nil, fmt.Errorf("loadgen: encoding corpus trace %d: %w", i, err)
+		}
+		// Decode our own bytes back: the reference labeling must cover the
+		// trace the server will see, not the pre-roundtrip original.
+		decoded, err := mawilab.ReadPcap(bytes.NewReader(pcapBuf.Bytes()))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: decoding corpus trace %d: %w", i, err)
+		}
+		p := cfg.NewPipeline()
+		p.Workers = cfg.Workers
+		l, err := p.RunContext(ctx, decoded)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: reference labeling for corpus trace %d: %w", i, err)
+		}
+		var csv bytes.Buffer
+		if err := l.WriteCSV(&csv); err != nil {
+			return nil, fmt.Errorf("loadgen: encoding reference CSV %d: %w", i, err)
+		}
+		c.Traces = append(c.Traces, TraceRef{
+			Name:   fmt.Sprintf("load-%d", i),
+			Digest: decoded.Digest(),
+			Pcap:   pcapBuf.Bytes(),
+			CSV:    csv.Bytes(),
+		})
+	}
+	return c, nil
+}
+
+// ByDigest returns the corpus entry for a digest.
+func (c *Corpus) ByDigest(digest string) (TraceRef, bool) {
+	for _, tr := range c.Traces {
+		if tr.Digest == digest {
+			return tr, true
+		}
+	}
+	return TraceRef{}, false
+}

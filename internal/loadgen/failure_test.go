@@ -1,0 +1,320 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newRunner builds a runner against a fake daemon for driving individual
+// op paths deterministically.
+func newRunner(t *testing.T, corpus *Corpus, handler http.Handler) (*runner, *clientState) {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	cfg := Config{
+		BaseURL:    ts.URL,
+		Corpus:     corpus,
+		MaxRetries: 2,
+		RetryCap:   5 * time.Millisecond,
+		// Short quiesce so the deadline branches are reachable in-test.
+		QuiesceTimeout: 200 * time.Millisecond,
+	}
+	cfg.setDefaults()
+	r := &runner{cfg: cfg, corpus: corpus, http: ts.Client(), warmed: corpus.Traces[:1]}
+	return r, newClientState(1, 0)
+}
+
+func hasError(cs *clientState, substr string) bool {
+	for _, e := range cs.errors {
+		if strings.Contains(e, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlausibleRetryAfter(t *testing.T) {
+	for _, bad := range []string{"", "x", "1.5", "0", "-3", "301"} {
+		if _, err := plausibleRetryAfter(bad); err == nil {
+			t.Errorf("Retry-After %q accepted", bad)
+		}
+	}
+	if sec, err := plausibleRetryAfter("5"); err != nil || sec != 5 {
+		t.Errorf("plausibleRetryAfter(5) = %d, %v", sec, err)
+	}
+}
+
+// TestUploadFailurePaths scripts one misbehaving response per trace name
+// and asserts the harness records each protocol violation: a harness that
+// cannot see a lying server cannot certify an honest one.
+func TestUploadFailurePaths(t *testing.T) {
+	corpus, err := BuildCorpus(context.Background(), CorpusConfig{Traces: 5, Seed: 11, Duration: 2, BaseRate: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TraceRef{}
+	for _, tr := range corpus.Traces {
+		byName[tr.Name] = tr
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, req *http.Request) {
+		tr := byName[req.URL.Query().Get("name")]
+		switch tr.Name {
+		case "load-0": // unexpected status
+			http.Error(w, "nope", http.StatusInternalServerError)
+		case "load-1": // 429 without Retry-After
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "load-2": // 200 with the wrong digest
+			fmt.Fprintf(w, `{"digest":"beef","cached":true}`)
+		case "load-3": // 202 without a job id
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, `{"digest":%q}`, tr.Digest)
+		case "load-4": // unparseable body on 200
+			fmt.Fprint(w, "not json")
+		}
+	})
+	r, cs := newRunner(t, corpus, mux)
+
+	r.opUpload(context.Background(), cs, corpus.Traces[0], OpUpload)
+	if !hasError(cs, "unexpected status 500") {
+		t.Errorf("500 not recorded: %v", cs.errors)
+	}
+
+	n := len(cs.errors)
+	r.opUpload(context.Background(), cs, corpus.Traces[1], OpUpload)
+	if !hasError(cs, "implausible Retry-After") {
+		t.Errorf("missing Retry-After not recorded: %v", cs.errors)
+	}
+	// The backoff loop retried MaxRetries times; every attempt violated.
+	if got := len(cs.errors) - n; got != r.cfg.MaxRetries+1 {
+		t.Errorf("%d violations recorded across the retry loop, want %d", got, r.cfg.MaxRetries+1)
+	}
+	if cs.rejected != int64(r.cfg.MaxRetries+1) {
+		t.Errorf("rejected tally = %d", cs.rejected)
+	}
+
+	r.opUpload(context.Background(), cs, corpus.Traces[2], OpUpload)
+	if !hasError(cs, "server digest beef != local digest") {
+		t.Errorf("digest mismatch not recorded: %v", cs.errors)
+	}
+	r.opUpload(context.Background(), cs, corpus.Traces[3], OpUpload)
+	if !hasError(cs, "202 without a job id") {
+		t.Errorf("job-less 202 not recorded: %v", cs.errors)
+	}
+	r.opUpload(context.Background(), cs, corpus.Traces[4], OpUpload)
+	if !hasError(cs, "unparseable upload response") {
+		t.Errorf("bad body not recorded: %v", cs.errors)
+	}
+}
+
+// TestReadCommunityHealthFailurePaths drives the read-side checks against
+// a server that serves corrupted labelings, broken community JSON and a
+// failing health endpoint.
+func TestReadCommunityHealthFailurePaths(t *testing.T) {
+	corpus, err := BuildCorpus(context.Background(), CorpusConfig{Traces: 1, Seed: 12, Duration: 2, BaseRate: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mode atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/labels/", func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.URL.Path, "/communities") {
+			switch mode.Load() {
+			case 0:
+				http.Error(w, "down", http.StatusBadGateway)
+			default:
+				fmt.Fprint(w, "not a json array")
+			}
+			return
+		}
+		switch mode.Load() {
+		case 0:
+			http.NotFound(w, req)
+		default:
+			fmt.Fprint(w, "corrupted,csv,bytes\n")
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "dead", http.StatusServiceUnavailable)
+	})
+	r, cs := newRunner(t, corpus, mux)
+
+	r.opRead(context.Background(), cs)
+	if !hasError(cs, "read load-0: status 404") {
+		t.Errorf("read 404 not recorded: %v", cs.errors)
+	}
+	r.opCommunity(context.Background(), cs)
+	if !hasError(cs, "community load-0: status 502") {
+		t.Errorf("community 502 not recorded: %v", cs.errors)
+	}
+	mode.Store(1)
+	r.opRead(context.Background(), cs)
+	if !hasError(cs, "DIVERGENCE read load-0") {
+		t.Errorf("corrupted CSV not recorded as divergence: %v", cs.errors)
+	}
+	r.opCommunity(context.Background(), cs)
+	if !hasError(cs, "community load-0: unparseable response") {
+		t.Errorf("broken community JSON not recorded: %v", cs.errors)
+	}
+	r.opHealth(context.Background(), cs)
+	if !hasError(cs, "health: status 503") {
+		t.Errorf("failing health not recorded: %v", cs.errors)
+	}
+}
+
+// TestQuiesceFailurePaths covers the job-settling sweep: done jobs pass,
+// failed jobs and unparseable/missing job records are errors, and a job
+// stuck in "running" trips the deadline.
+func TestQuiesceFailurePaths(t *testing.T) {
+	corpus, err := BuildCorpus(context.Background(), CorpusConfig{Traces: 1, Seed: 13, Duration: 2, BaseRate: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, req *http.Request) {
+		switch strings.TrimPrefix(req.URL.Path, "/v1/jobs/") {
+		case "j-done":
+			fmt.Fprint(w, `{"state":"done"}`)
+		case "j-failed":
+			fmt.Fprint(w, `{"state":"failed","error":"boom"}`)
+		case "j-garbled":
+			fmt.Fprint(w, "{{{")
+		case "j-stuck":
+			fmt.Fprint(w, `{"state":"running"}`)
+		default:
+			http.NotFound(w, req)
+		}
+	})
+	r, cs := newRunner(t, corpus, mux)
+	for _, id := range []string{"j-done", "j-failed", "j-garbled", "j-stuck", "j-unknown"} {
+		cs.jobIDs[id] = struct{}{}
+	}
+	r.quiesce(context.Background(), cs)
+	for _, want := range []string{
+		"quiesce j-failed: job failed: boom",
+		"quiesce j-garbled: unparseable job",
+		"quiesce j-stuck: still running at deadline",
+		"quiesce j-unknown: status 404",
+	} {
+		if !hasError(cs, want) {
+			t.Errorf("missing %q in %v", want, cs.errors)
+		}
+	}
+	if hasError(cs, "j-done") {
+		t.Errorf("done job reported as a failure: %v", cs.errors)
+	}
+}
+
+// TestVerifyFailurePaths covers the post-run differential sweep: corrupted
+// stored labelings are divergences, unknown digests and leaked rejected
+// digests are errors, and a clean rejected-only digest 404s through.
+func TestVerifyFailurePaths(t *testing.T) {
+	corpus, err := BuildCorpus(context.Background(), CorpusConfig{Traces: 2, Seed: 14, Duration: 2, BaseRate: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaked, clean := corpus.Traces[1].Digest, "db15"
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/labels/", func(w http.ResponseWriter, req *http.Request) {
+		switch {
+		case strings.Contains(req.URL.Path, corpus.Traces[0].Digest):
+			fmt.Fprint(w, "corrupted\n") // divergence for the warmed digest
+		case strings.Contains(req.URL.Path, leaked):
+			fmt.Fprint(w, "leaked\n") // rejected digest present in store
+		default:
+			http.NotFound(w, req)
+		}
+	})
+	r, cs := newRunner(t, corpus, mux)
+	cs.uploadedOK["feed"] = struct{}{} // not in corpus
+	cs.rejectedDg[leaked] = struct{}{}
+	cs.rejectedDg[clean] = struct{}{}
+
+	rep := &Report{}
+	r.verify(context.Background(), cs, rep)
+	if len(rep.Divergences) != 1 || !strings.Contains(rep.Divergences[0], corpus.Traces[0].Digest) {
+		t.Errorf("divergences = %v", rep.Divergences)
+	}
+	joined := strings.Join(rep.Errors, "\n")
+	if !strings.Contains(joined, "digest not in corpus") {
+		t.Errorf("unknown digest not recorded: %v", rep.Errors)
+	}
+	if !strings.Contains(joined, "want 404 for a never-admitted digest") {
+		t.Errorf("store leak not recorded: %v", rep.Errors)
+	}
+	if len(rep.RejectedOnly) != 2 {
+		t.Errorf("rejected-only = %v", rep.RejectedOnly)
+	}
+	if rep.Err() == nil {
+		t.Error("report with divergences and errors reports success")
+	}
+}
+
+// TestRunDetectsLyingServer is the end-to-end version: a daemon that warms
+// honestly, then serves corrupted labelings and frozen metrics. Run must
+// complete and the report must fail itself on both divergence and
+// reconciliation grounds.
+func TestRunDetectsLyingServer(t *testing.T) {
+	corpus, err := BuildCorpus(context.Background(), CorpusConfig{Traces: 1, Seed: 15, Duration: 2, BaseRate: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := corpus.Traces[0]
+	// The first /metrics scrape is Run's pre-window scrape, which happens
+	// after the warm phase: flipping on it turns the server dishonest for
+	// exactly the measured window.
+	var lying atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, `{"digest":%q,"cached":true}`, warm.Digest)
+	})
+	mux.HandleFunc("/v1/labels/", func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.URL.Path, "/communities") {
+			fmt.Fprint(w, "[]")
+			return
+		}
+		if lying.Load() {
+			fmt.Fprint(w, "corrupted,csv\n")
+			return
+		}
+		w.Write(warm.CSV)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprint(w, "ok") })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		lying.Store(true)
+		fmt.Fprint(w, "# HELP mawilabd_uploads_total uploads\n# TYPE mawilabd_uploads_total counter\nmawilabd_uploads_total 0\n")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Corpus:       corpus,
+		Scenario:     "lying",
+		Clients:      2,
+		OpsPerClient: 10,
+		Seed:         4,
+		TargetRPS:    500, // also exercises the open-loop pacing branch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err() == nil {
+		t.Fatal("harness certified a lying server")
+	}
+	if len(rep.Divergences) == 0 {
+		t.Error("corrupted labelings not reported as divergences")
+	}
+	if len(rep.Reconciliation) == 0 {
+		t.Error("frozen counters not reported as reconciliation mismatches")
+	}
+	if rep.TargetRPS != 500 {
+		t.Errorf("report target rps = %g", rep.TargetRPS)
+	}
+}

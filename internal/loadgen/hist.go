@@ -1,0 +1,177 @@
+// Package loadgen is the mawilabd load/soak harness substrate: it replays
+// configurable mixes of concurrent pcap uploads, duplicate uploads (the
+// cache-hit path), label and community reads and health probes against a
+// running daemon, records client-side latency in HDR-style log-bucketed
+// histograms, scrapes /metrics before and after the measured window to
+// cross-check the server's own counters against the client-observed
+// totals, and verifies every returned labeling byte-for-byte against a
+// locally computed Pipeline.Run reference — a load test here is also a
+// differential correctness test: any divergence fails the run.
+//
+// The package is driven by cmd/mawiload and by the in-process smoke tests;
+// it never prints (callers render the Report) and its clients fan out on
+// internal/parallel. Timing code is confined to this package, which the
+// mawilint wallclock policy exempts the same way it exempts internal/serve:
+// measuring the real world is loadgen's whole job, but no measurement ever
+// feeds back into a labeling.
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// histSub is the number of linear sub-buckets per power-of-two octave: 16
+// sub-buckets keep every bucket's relative width under 1/16 (6.25%), the
+// classic HDR-histogram precision/size trade-off.
+const histSub = 16
+
+// histBuckets bounds the bucket array: shift*histSub+31 for the largest
+// representable int64 nanosecond count stays well under this.
+const histBuckets = 1024
+
+// Hist is a log-bucketed latency histogram: values (nanoseconds) land in
+// buckets whose width grows geometrically, so one fixed-size array spans
+// microseconds to hours with bounded relative error. A Hist is NOT safe
+// for concurrent use — each load client owns a private Hist and the
+// results are merged bucket-by-bucket after the run, which keeps the hot
+// path free of contention and the merge deterministic.
+type Hist struct {
+	counts   [histBuckets]int64
+	count    int64
+	sum      int64 // nanoseconds
+	min, max int64 // exact extremes, valid when count > 0
+}
+
+// bucketOf maps a nanosecond value to its bucket index: the top five bits
+// of the value select the bucket, so indexes are monotone in the value and
+// every bucket spans at most 1/16 of its lower bound.
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	shift := bits.Len64(uint64(ns)) - 5
+	if shift < 0 {
+		shift = 0
+	}
+	idx := shift*histSub + int(ns>>shift)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the largest nanosecond value mapping to bucket idx —
+// the value Quantile reports for observations in the bucket.
+func bucketUpper(idx int) int64 {
+	if idx < 2*histSub {
+		return int64(idx)
+	}
+	shift := idx/histSub - 1
+	base := int64(idx - shift*histSub) // in [histSub, 2*histSub)
+	return (base+1)<<shift - 1
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)]++
+	h.count++
+	h.sum += ns
+	if h.count == 1 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds o into h bucket-by-bucket. Merging per-client histograms
+// after the run is order-independent (integer sums), so the merged result
+// is identical regardless of client completion order.
+func (h *Hist) Merge(o *Hist) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Sum returns the summed latency.
+func (h *Hist) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Max returns the exact largest observation (0 before the first).
+func (h *Hist) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Min returns the exact smallest observation (0 before the first).
+func (h *Hist) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Mean returns the average observation (0 before the first).
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Quantile returns the latency at quantile q in [0,1]: the upper bound of
+// the bucket holding the ceil(q*count)-th smallest observation, clamped to
+// the exact observed extremes so Quantile(1) is the true max. Relative
+// error is bounded by the bucket width (<= 6.25%).
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank <= 1 {
+		// The rank-1 observation is the minimum, which is tracked exactly.
+		return time.Duration(h.min)
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

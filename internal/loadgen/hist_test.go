@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBucketMath pins the log-bucket invariants: indexes are monotone in
+// the value, every value lands at or below its bucket's upper bound, and
+// the bound's relative error stays under 1/histSub.
+func TestBucketMath(t *testing.T) {
+	prev := -1
+	for _, ns := range []int64{0, 1, 2, 15, 16, 31, 32, 33, 63, 64, 100, 1_000, 1_000_000, 123_456_789, 1 << 40, math.MaxInt64} {
+		idx := bucketOf(ns)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", ns, idx)
+		}
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone: bucketOf(%d) = %d < previous %d", ns, idx, prev)
+		}
+		prev = idx
+		if idx < histBuckets-1 {
+			upper := bucketUpper(idx)
+			if ns > upper {
+				t.Fatalf("value %d above its bucket %d upper bound %d", ns, idx, upper)
+			}
+			if ns > 2*histSub && float64(upper-ns) > float64(ns)/histSub+1 {
+				t.Fatalf("bucket %d upper %d overshoots value %d beyond 1/%d relative error", idx, upper, ns, histSub)
+			}
+		}
+	}
+	// Exhaustive small range: upper bound is exactly the largest value
+	// mapping to the index.
+	for ns := int64(0); ns < 4096; ns++ {
+		idx := bucketOf(ns)
+		if got := bucketUpper(idx); ns > got {
+			t.Fatalf("bucketUpper(%d) = %d < member value %d", idx, got, ns)
+		}
+		if bucketOf(bucketUpper(idx)) != idx {
+			t.Fatalf("bucketUpper(%d) = %d maps to bucket %d", idx, bucketUpper(idx), bucketOf(bucketUpper(idx)))
+		}
+	}
+}
+
+// TestHistQuantiles pins the quantile walk against a known distribution.
+func TestHistQuantiles(t *testing.T) {
+	h := &Hist{}
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != time.Second {
+		t.Fatalf("extremes = %v, %v", h.Min(), h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Millisecond}, {0.95, 950 * time.Millisecond}, {0.99, 990 * time.Millisecond}} {
+		got := h.Quantile(tc.q)
+		err := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if err > 1.0/histSub {
+			t.Errorf("Quantile(%g) = %v, want %v within %.2f%%", tc.q, got, tc.want, 100.0/histSub)
+		}
+	}
+	if h.Quantile(1) != time.Second {
+		t.Errorf("Quantile(1) = %v, want exact max", h.Quantile(1))
+	}
+	if h.Quantile(0) != time.Millisecond {
+		t.Errorf("Quantile(0) = %v, want exact min", h.Quantile(0))
+	}
+}
+
+// TestHistMergeOrderIndependent pins the determinism property the runner
+// relies on: merging per-client histograms yields identical aggregates in
+// any order.
+func TestHistMergeOrderIndependent(t *testing.T) {
+	mk := func(seed int64, n int) *Hist {
+		h := &Hist{}
+		r := rng{state: uint64(seed)}
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration(r.intn(10_000_000)))
+		}
+		return h
+	}
+	a, b, c := mk(1, 100), mk(2, 57), mk(3, 999)
+	ab := &Hist{}
+	ab.Merge(a)
+	ab.Merge(b)
+	ab.Merge(c)
+	cb := &Hist{}
+	cb.Merge(c)
+	cb.Merge(b)
+	cb.Merge(a)
+	if *ab != *cb {
+		t.Fatal("merge is order-dependent")
+	}
+	if ab.Count() != 100+57+999 {
+		t.Fatalf("merged count = %d", ab.Count())
+	}
+	if ab.Sum() != a.Sum()+b.Sum()+c.Sum() {
+		t.Fatal("merged sum mismatch")
+	}
+}

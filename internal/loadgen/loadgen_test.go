@@ -1,0 +1,284 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mawilab"
+	"mawilab/internal/core"
+	"mawilab/internal/serve"
+	"mawilab/internal/trace"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("upload=4,dup=2,read=2,community=1,health=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Upload: 4, Dup: 2, Read: 2, Community: 1, Health: 1}) {
+		t.Fatalf("parsed %+v", m)
+	}
+	if got, err := ParseMix(""); err != nil || got != DefaultMix {
+		t.Fatalf("empty mix = %+v, %v", got, err)
+	}
+	if got, err := ParseMix(m.String()); err != nil || got != m {
+		t.Fatalf("mix does not round-trip through String: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"upload", "upload=x", "upload=-1", "nope=1", "upload=0,dup=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	text := `# HELP x_total things
+# TYPE x_total counter
+x_total 41
+x_labeled{reason="queue_full"} 3
+x_seconds_bucket{le="+Inf"} 7
+x_gauge -2.5
+`
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]float64{
+		"x_total": 41, `x_labeled{reason="queue_full"}`: 3,
+		`x_seconds_bucket{le="+Inf"}`: 7, "x_gauge": -2.5,
+	} {
+		if m[k] != want {
+			t.Errorf("%s = %g, want %g", k, m[k], want)
+		}
+	}
+	before := Metrics{"x_total": 40}
+	if d := m.Delta(before, "x_total"); d != 1 {
+		t.Errorf("Delta = %g, want 1", d)
+	}
+	if d := m.Delta(before, "absent"); d != 0 {
+		t.Errorf("Delta(absent) = %g, want 0", d)
+	}
+	if _, err := ParseMetrics(strings.NewReader("garbage_line_without_value\n")); err == nil {
+		t.Error("unparseable line accepted")
+	}
+}
+
+// smokeCorpus is a small, fast working set shared by the scenario tests.
+func smokeCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := BuildCorpus(context.Background(), CorpusConfig{Traces: 3, Seed: 7, Duration: 4, BaseRate: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Traces) != 3 {
+		t.Fatalf("corpus has %d traces", len(c.Traces))
+	}
+	seen := map[string]bool{}
+	for _, tr := range c.Traces {
+		if seen[tr.Digest] {
+			t.Fatalf("duplicate corpus digest %s", tr.Digest)
+		}
+		seen[tr.Digest] = true
+		if len(tr.CSV) == 0 || len(tr.Pcap) == 0 {
+			t.Fatalf("corpus trace %s missing bytes", tr.Name)
+		}
+	}
+	return c
+}
+
+// newDaemon hosts an in-process mawilabd on httptest.
+func newDaemon(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.StoreDir == "" {
+		cfg.StoreDir = t.TempDir()
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestLoadSmoke is the in-process harness smoke: 8 clients x 20 ops with a
+// duplicate-heavy mix against a live daemon. Zero divergences, server
+// counters reconcile with client totals, the report round-trips through
+// JSON, and the repeated-community-query path shows index cache hits.
+func TestLoadSmoke(t *testing.T) {
+	corpus := smokeCorpus(t)
+	_, ts := newDaemon(t, serve.Config{JobWorkers: 2, QueueDepth: 16})
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Corpus:       corpus,
+		Scenario:     "smoke",
+		Clients:      8,
+		OpsPerClient: 20,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	tot := rep.Ops[OpTotal]
+	if tot.Count != 8*20 {
+		t.Errorf("total ops = %d, want %d (no retries expected)", tot.Count, 8*20)
+	}
+	if tot.P50Ms <= 0 || tot.MaxMs < tot.P99Ms || tot.P99Ms < tot.P50Ms {
+		t.Errorf("implausible latency stats: %+v", tot)
+	}
+	writes := rep.Ops[OpUpload].Count + rep.Ops[OpDup].Count
+	if 4*rep.Ops[OpDup].Count < writes {
+		t.Errorf("duplicate share %d/%d below 25%%", rep.Ops[OpDup].Count, writes)
+	}
+	if rep.Server.CacheHits == 0 {
+		t.Error("no cache hits despite duplicate uploads")
+	}
+	if rep.Server.IndexCacheHits < 1 {
+		t.Errorf("index_cache_hits = %g, want >= 1 from repeated community queries", rep.Server.IndexCacheHits)
+	}
+	if len(rep.Warmed) != 1 || len(rep.Labeled) == 0 {
+		t.Errorf("warmed=%d labeled=%d", len(rep.Warmed), len(rep.Labeled))
+	}
+
+	// Report round-trips byte-stable through its JSON encoding.
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Error("report does not round-trip through JSON")
+	}
+
+	// A derived baseline gates its own report, and a 0-slack regression
+	// check against itself passes.
+	b := DeriveBaseline(rep, 4)
+	var out bytes.Buffer
+	if v := CompareBaseline(&out, b, rep); len(v) != 0 {
+		t.Errorf("self-comparison violated: %v\n%s", v, out.String())
+	}
+}
+
+// TestLoadWarmStart is the pre-seeded-store scenario: every corpus trace is
+// warmed before the window, so the measured run is pure cache-hit traffic —
+// no jobs, no misses.
+func TestLoadWarmStart(t *testing.T) {
+	corpus := smokeCorpus(t)
+	_, ts := newDaemon(t, serve.Config{JobWorkers: 2, QueueDepth: 16})
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Corpus:       corpus,
+		Scenario:     "warm-start",
+		Clients:      4,
+		OpsPerClient: 10,
+		WarmAll:      true,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(rep.Warmed) != len(corpus.Traces) {
+		t.Errorf("warmed %d, want %d", len(rep.Warmed), len(corpus.Traces))
+	}
+	if rep.Server.CacheMisses != 0 || rep.Server.JobsDone != 0 {
+		t.Errorf("warm-start ran jobs: misses=%g jobs=%g", rep.Server.CacheMisses, rep.Server.JobsDone)
+	}
+	if rep.Server.CacheHits == 0 {
+		t.Error("warm-start saw no cache hits")
+	}
+}
+
+// slowDetector holds each job for a fixed wall-clock delay — the seam for
+// saturating the admission queue from the outside.
+type slowDetector struct{ delay time.Duration }
+
+func (d *slowDetector) Name() string    { return "slow" }
+func (d *slowDetector) NumConfigs() int { return 1 }
+func (d *slowDetector) Detect(_ *trace.Index, _ int) ([]core.Alarm, error) {
+	time.Sleep(d.delay)
+	return nil, nil
+}
+
+// TestLoadSaturation overdrives a one-slot queue with slow jobs: the
+// harness must observe 429s whose Retry-After is plausible, reconcile the
+// rejection counters exactly, keep rejected-only digests out of the store,
+// and still verify every admitted labeling byte-for-byte.
+func TestLoadSaturation(t *testing.T) {
+	// The server's pipeline seam changes the labeling output, so the corpus
+	// reference must be built with the SAME constructor — the harness
+	// verifies served bytes against it.
+	slowPipeline := func() *mawilab.Pipeline {
+		p := mawilab.NewPipeline()
+		p.Detectors = append(p.Detectors, &slowDetector{delay: 80 * time.Millisecond})
+		return p
+	}
+	corpus, err := BuildCorpus(context.Background(), CorpusConfig{
+		Traces: 6, Seed: 30, Duration: 2, BaseRate: 40, NewPipeline: slowPipeline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newDaemon(t, serve.Config{
+		JobWorkers:  1,
+		QueueDepth:  1,
+		NewPipeline: slowPipeline,
+	})
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Corpus:       corpus,
+		Scenario:     "saturation",
+		Clients:      6,
+		OpsPerClient: 4,
+		Mix:          Mix{Upload: 1},
+		MaxRetries:   2,
+		RetryCap:     40 * time.Millisecond,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Err() folds in implausible Retry-After headers, store leaks of
+	// rejected digests, reconciliation mismatches and divergences — all of
+	// which must be clean even under saturation.
+	if err := rep.Err(); err != nil {
+		t.Fatalf("saturated run failed: %v", err)
+	}
+	up := rep.Ops[OpUpload]
+	if up.Rejected429 == 0 {
+		t.Fatal("saturation scenario produced no 429s; queue never filled")
+	}
+	if rep.Server.RejectedQueueFull != float64(up.Rejected429) {
+		t.Errorf("server rejections %g != client-observed %d", rep.Server.RejectedQueueFull, up.Rejected429)
+	}
+	if len(rep.Labeled) == 0 {
+		t.Error("no upload ever succeeded under saturation (retry path untested)")
+	}
+}
+
+// TestRunRejectsBadConfig pins the harness's own validation.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("Run accepted an empty config")
+	}
+}

@@ -1,0 +1,269 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ReportSchema versions the LOAD_report.json wire format.
+const ReportSchema = 1
+
+// OpStats is one operation class's measured outcome.
+type OpStats struct {
+	// Count is the number of requests issued (each 429-retry attempt
+	// counts: it is a real request the server answered).
+	Count int64 `json:"count"`
+	// Rejected429 is how many of those were admission-control rejections.
+	Rejected429 int64 `json:"rejected_429,omitempty"`
+	// ThroughputOps is Count over the measured wall-clock window.
+	ThroughputOps float64 `json:"throughput_ops"`
+	// Client-observed latency quantiles from the merged log-bucketed
+	// histograms (quantiles carry <= 6.25% bucket error; max is exact).
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// ServerDeltas are the /metrics counter movements across the measured
+// window — the server's own account of the load, reconciled against the
+// client-side tallies.
+type ServerDeltas struct {
+	Uploads           float64 `json:"uploads"`
+	CacheHits         float64 `json:"cache_hits"`
+	CacheMisses       float64 `json:"cache_misses"`
+	RejectedQueueFull float64 `json:"rejected_queue_full"`
+	JobsDone          float64 `json:"jobs_done"`
+	IndexCacheHits    float64 `json:"index_cache_hits"`
+	IndexCacheMisses  float64 `json:"index_cache_misses"`
+}
+
+// Report is the machine-readable outcome of one harness run
+// (LOAD_report.json). A report is self-judging: Err() folds the recorded
+// divergences, errors and reconciliation mismatches into a verdict.
+type Report struct {
+	Schema          int     `json:"schema"`
+	Scenario        string  `json:"scenario"`
+	Mix             string  `json:"mix"`
+	Clients         int     `json:"clients"`
+	OpsPerClient    int     `json:"ops_per_client"`
+	TargetRPS       float64 `json:"target_rps,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	// Ops maps operation name (upload/dup/read/community/health/total) to
+	// its stats; "total" aggregates every request.
+	Ops map[string]OpStats `json:"ops"`
+
+	// Server holds the scraped counter deltas.
+	Server ServerDeltas `json:"server"`
+
+	// Divergences lists byte-level mismatches between served labelings and
+	// the local Pipeline.Run reference. Must be empty: a load test that
+	// mislabels has failed regardless of throughput.
+	Divergences []string `json:"divergences,omitempty"`
+	// Reconciliation lists server-counter vs client-tally mismatches.
+	Reconciliation []string `json:"reconciliation,omitempty"`
+	// Errors lists protocol-level failures (unexpected statuses, missing
+	// Retry-After, failed jobs, transport errors).
+	Errors []string `json:"errors,omitempty"`
+
+	// Warmed, Labeled and RejectedOnly record the digest partition the
+	// verification sweep established (sorted).
+	Warmed       []string `json:"warmed,omitempty"`
+	Labeled      []string `json:"labeled,omitempty"`
+	RejectedOnly []string `json:"rejected_only,omitempty"`
+}
+
+// Err folds the report's recorded failures into a verdict: nil means the
+// run was correct (not fast — speed is the baseline gate's job).
+func (r *Report) Err() error {
+	var parts []string
+	add := func(kind string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		n := len(items)
+		show := items
+		if len(show) > 3 {
+			show = show[:3]
+		}
+		parts = append(parts, fmt.Sprintf("%d %s (%s)", n, kind, strings.Join(show, "; ")))
+	}
+	add("divergences", r.Divergences)
+	add("reconciliation mismatches", r.Reconciliation)
+	add("errors", r.Errors)
+	if len(parts) == 0 {
+		return nil
+	}
+	return fmt.Errorf("loadgen: run failed: %s", strings.Join(parts, "; "))
+}
+
+// Validate checks the report's structural invariants — the schema contract
+// CI's load-smoke job enforces on every emitted report.
+func (r *Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("loadgen: report schema %d, want %d", r.Schema, ReportSchema)
+	}
+	if r.Scenario == "" {
+		return errors.New("loadgen: report missing scenario")
+	}
+	if r.DurationSeconds <= 0 {
+		return errors.New("loadgen: report duration must be positive")
+	}
+	tot, ok := r.Ops[OpTotal]
+	if !ok {
+		return errors.New("loadgen: report missing total op stats")
+	}
+	var sum int64
+	for _, op := range opNames {
+		sum += r.Ops[op].Count
+	}
+	if sum != tot.Count {
+		return fmt.Errorf("loadgen: per-op counts sum to %d but total says %d", sum, tot.Count)
+	}
+	return nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses and validates a report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadReportFile reads a report from disk.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// Gate bounds one operation class: a throughput floor and a p99 ceiling.
+// Zero disables that side of the gate.
+type Gate struct {
+	MinThroughputOps float64 `json:"min_throughput_ops,omitempty"`
+	MaxP99Ms         float64 `json:"max_p99_ms,omitempty"`
+}
+
+// Baseline is the committed LOAD_baseline.json: the regression gate a load
+// report is compared against in CI.
+type Baseline struct {
+	Schema   int             `json:"schema"`
+	Scenario string          `json:"scenario"`
+	Gates    map[string]Gate `json:"gates"`
+}
+
+// DeriveBaseline turns a measured report into a gate with `slack` headroom
+// (e.g. 4 = tolerate 4x regression before failing — generous on purpose:
+// CI runners are noisy and the gate must catch collapses, not jitter).
+func DeriveBaseline(r *Report, slack float64) *Baseline {
+	if slack < 1 {
+		slack = 1
+	}
+	b := &Baseline{Schema: ReportSchema, Scenario: r.Scenario, Gates: make(map[string]Gate)}
+	for _, op := range append(append([]string{}, opNames...), OpTotal) {
+		st, ok := r.Ops[op]
+		if !ok || st.Count == 0 {
+			continue
+		}
+		g := Gate{}
+		if st.ThroughputOps > 0 {
+			g.MinThroughputOps = st.ThroughputOps / slack
+		}
+		if st.P99Ms > 0 {
+			g.MaxP99Ms = st.P99Ms * slack
+		}
+		b.Gates[op] = g
+	}
+	return b
+}
+
+// WriteBaseline writes the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaselineFile reads a baseline from disk.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var b Baseline
+	if err := json.NewDecoder(f).Decode(&b); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing baseline %s: %w", path, err)
+	}
+	if b.Schema != ReportSchema {
+		return nil, fmt.Errorf("loadgen: baseline %s schema %d, want %d", path, b.Schema, ReportSchema)
+	}
+	return &b, nil
+}
+
+// CompareBaseline checks a report against the committed gate, writing a
+// line per gate to w. It returns the gate violations (empty = pass). An
+// operation gated by the baseline but absent from the report is a
+// violation — a scenario that silently stopped exercising an op must not
+// pass its gate.
+func CompareBaseline(w io.Writer, b *Baseline, r *Report) []string {
+	var violations []string
+	if b.Scenario != "" && b.Scenario != r.Scenario {
+		violations = append(violations,
+			fmt.Sprintf("scenario mismatch: baseline gates %q, report ran %q", b.Scenario, r.Scenario))
+	}
+	names := make([]string, 0, len(b.Gates))
+	for name := range b.Gates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := b.Gates[name]
+		st, ok := r.Ops[name]
+		if !ok || st.Count == 0 {
+			violations = append(violations, fmt.Sprintf("%s: gated by baseline but missing from report", name))
+			fmt.Fprintf(w, "FAIL %s: missing from report\n", name)
+			continue
+		}
+		if g.MinThroughputOps > 0 {
+			if st.ThroughputOps < g.MinThroughputOps {
+				violations = append(violations, fmt.Sprintf("%s: throughput %.2f ops/s below floor %.2f",
+					name, st.ThroughputOps, g.MinThroughputOps))
+				fmt.Fprintf(w, "FAIL %s: throughput %.2f ops/s < floor %.2f\n", name, st.ThroughputOps, g.MinThroughputOps)
+			} else {
+				fmt.Fprintf(w, "ok   %s: throughput %.2f ops/s (floor %.2f)\n", name, st.ThroughputOps, g.MinThroughputOps)
+			}
+		}
+		if g.MaxP99Ms > 0 {
+			if st.P99Ms > g.MaxP99Ms {
+				violations = append(violations, fmt.Sprintf("%s: p99 %.2fms above ceiling %.2fms",
+					name, st.P99Ms, g.MaxP99Ms))
+				fmt.Fprintf(w, "FAIL %s: p99 %.2fms > ceiling %.2fms\n", name, st.P99Ms, g.MaxP99Ms)
+			} else {
+				fmt.Fprintf(w, "ok   %s: p99 %.2fms (ceiling %.2fms)\n", name, st.P99Ms, g.MaxP99Ms)
+			}
+		}
+	}
+	return violations
+}

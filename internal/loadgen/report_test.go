@@ -1,0 +1,151 @@
+package loadgen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validReport() *Report {
+	return &Report{
+		Schema:          ReportSchema,
+		Scenario:        "unit",
+		Mix:             DefaultMix.String(),
+		Clients:         2,
+		OpsPerClient:    5,
+		DurationSeconds: 0.5,
+		Ops: map[string]OpStats{
+			OpUpload: {Count: 6, ThroughputOps: 12, P50Ms: 1, P95Ms: 2, P99Ms: 3, MaxMs: 4},
+			OpRead:   {Count: 4, ThroughputOps: 8, P50Ms: 1, P95Ms: 1, P99Ms: 2, MaxMs: 2},
+			OpTotal:  {Count: 10, ThroughputOps: 20, P50Ms: 1, P95Ms: 2, P99Ms: 3, MaxMs: 4},
+		},
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	if err := validReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Report){
+		"wrong schema":     func(r *Report) { r.Schema = 99 },
+		"missing scenario": func(r *Report) { r.Scenario = "" },
+		"zero duration":    func(r *Report) { r.DurationSeconds = 0 },
+		"missing total":    func(r *Report) { delete(r.Ops, OpTotal) },
+		"count mismatch": func(r *Report) {
+			st := r.Ops[OpUpload]
+			st.Count++
+			r.Ops[OpUpload] = st
+		},
+	} {
+		r := validReport()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken report", name)
+		}
+	}
+}
+
+func TestReportErrTruncatesLongLists(t *testing.T) {
+	r := validReport()
+	if r.Err() != nil {
+		t.Fatal("clean report reports failure")
+	}
+	r.Errors = []string{"err-1", "err-2", "err-3", "err-4", "err-5"}
+	err := r.Err()
+	if err == nil {
+		t.Fatal("report with errors passes")
+	}
+	// Five recorded, only the first three shown.
+	if msg := err.Error(); !strings.Contains(msg, "5 errors") || strings.Contains(msg, "err-4") {
+		t.Errorf("Err() = %q", msg)
+	}
+}
+
+func TestReportFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rep.json")
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, validReport()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops[OpTotal].Count != 10 {
+		t.Errorf("round-tripped total = %d", rep.Ops[OpTotal].Count)
+	}
+
+	if _, err := ReadReportFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("absent report file read without error")
+	}
+	if err := os.WriteFile(path, []byte("{{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReportFile(path); err == nil {
+		t.Error("garbage report parsed without error")
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReportFile(path); err == nil {
+		t.Error("structurally invalid report passed validation")
+	}
+}
+
+func TestBaselineFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	// Slack below 1 clamps to 1: a baseline must never gate tighter than
+	// the run it was derived from.
+	b := DeriveBaseline(validReport(), 0.5)
+	if g := b.Gates[OpTotal]; g.MinThroughputOps != 20 || g.MaxP99Ms != 3 {
+		t.Fatalf("clamped-slack gate = %+v", g)
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Gates) != len(b.Gates) || got.Scenario != "unit" {
+		t.Errorf("round-tripped baseline = %+v", got)
+	}
+
+	if _, err := ReadBaselineFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("absent baseline file read without error")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaselineFile(path); err == nil {
+		t.Error("garbage baseline parsed without error")
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaselineFile(path); err == nil {
+		t.Error("wrong-schema baseline accepted")
+	}
+}
+
+func TestCompareBaselineScenarioMismatch(t *testing.T) {
+	r := validReport()
+	b := DeriveBaseline(r, 2)
+	b.Scenario = "other"
+	var buf bytes.Buffer
+	violations := CompareBaseline(&buf, b, r)
+	if len(violations) != 1 || !strings.Contains(violations[0], "scenario mismatch") {
+		t.Errorf("violations = %v", violations)
+	}
+}

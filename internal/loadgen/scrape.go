@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one parsed /metrics scrape: sample name (including its label
+// set, verbatim) to value. It is the client side of the reconciliation
+// check — the harness scrapes before and after the measured window and
+// compares the deltas against what the clients observed on the wire.
+type Metrics map[string]float64
+
+// ParseMetrics parses a Prometheus text exposition (the subset mawilabd
+// emits: no timestamps, no exemplars). Comment and blank lines are
+// skipped; every sample line is `name[{labels}] value`.
+func ParseMetrics(r io.Reader) (Metrics, error) {
+	m := make(Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("loadgen: unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad value in metrics line %q: %w", line, err)
+		}
+		m[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: reading metrics: %w", err)
+	}
+	return m, nil
+}
+
+// Scrape GETs and parses baseURL/metrics.
+func Scrape(ctx context.Context, client *http.Client, baseURL string) (Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /metrics returned %d", resp.StatusCode)
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// Delta returns m[name] - before[name]; samples absent from either scrape
+// count as zero, so a counter that first materializes mid-run still deltas
+// correctly.
+func (m Metrics) Delta(before Metrics, name string) float64 {
+	return m[name] - before[name]
+}

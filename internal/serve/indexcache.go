@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync"
+
+	"mawilab/internal/trace"
+)
+
+// indexCache is the per-digest trace.Index cache behind the flow-level
+// community queries: building an index costs a full pass over the trace,
+// so repeated queries against the same digest must not rebuild it. The
+// cache is a small LRU — flow queries concentrate on recently labeled
+// traces — and the build runs under the cache lock, so racing queries for
+// the same digest build exactly once and the hit/miss counters are exact.
+type indexCache struct {
+	max    int
+	hits   *Counter
+	misses *Counter
+
+	mu      sync.Mutex
+	entries map[string]*trace.Index
+	order   []string // LRU order, oldest first
+}
+
+func newIndexCache(max int, hits, misses *Counter) *indexCache {
+	if max <= 0 {
+		max = 4
+	}
+	return &indexCache{
+		max:     max,
+		hits:    hits,
+		misses:  misses,
+		entries: make(map[string]*trace.Index),
+	}
+}
+
+// get returns the cached index for digest, building and admitting it with
+// build on a miss. The returned index is shared and immutable.
+func (c *indexCache) get(digest string, build func() (*trace.Index, error)) (*trace.Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ix, ok := c.entries[digest]; ok {
+		c.hits.Inc()
+		c.touch(digest)
+		return ix, nil
+	}
+	c.misses.Inc()
+	ix, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.entries[digest] = ix
+	c.order = append(c.order, digest)
+	for len(c.entries) > c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	return ix, nil
+}
+
+// touch moves a digest to the back of the LRU order. Caller holds c.mu.
+func (c *indexCache) touch(digest string) {
+	for i, d := range c.order {
+		if d == digest {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), digest)
+			return
+		}
+	}
+}
+
+// len returns the number of cached indexes.
+func (c *indexCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

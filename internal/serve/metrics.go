@@ -51,6 +51,12 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // classic spread: 1ms to 10s, then +Inf implicitly.
 var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
+// JobBuckets are the whole-job latency buckets in seconds. Jobs run a full
+// pipeline over a day-scale trace, so their spread sits orders of magnitude
+// above the per-stage DefBuckets: sharing the stage buckets would pile
+// every real job into the top bucket and flatten the p99.
+var JobBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
 // Histogram counts observations into fixed cumulative buckets and tracks
 // their sum; all operations are lock-free and safe for concurrent use.
 type Histogram struct {
@@ -261,7 +267,12 @@ func writeHistogram(w io.Writer, name, label, value string, h *Histogram) {
 		suffix = fmt.Sprintf("{%s=%q}", label, value)
 	}
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
-	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+	// _count must equal the +Inf bucket — the exposition-format invariant
+	// scrapers check. Rendering the separate count atomic here could
+	// disagree with the bucket sum when an Observe lands between the two
+	// reads (buckets increment first), so the count is derived from the
+	// same cumulative walk that produced the +Inf line.
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
 }
 
 func formatFloat(v float64) string {

@@ -43,6 +43,7 @@ import (
 
 	"mawilab"
 	wirev1 "mawilab/internal/serve/v1"
+	"mawilab/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value of every field selects a
@@ -69,6 +70,11 @@ type Config struct {
 	// MaxResident bounds the label-store entries whose encoded bytes stay
 	// in memory (default 8); evicted entries re-read from disk.
 	MaxResident int
+	// IndexCacheSize bounds the per-digest trace.Index cache behind
+	// flow-level community queries (default 4). Building an index is a
+	// full pass over the trace; the cache makes repeated queries against
+	// the same digest serve from memory (metrics: index_cache_hits/misses).
+	IndexCacheSize int
 	// Stream is validated at config-load time so a daemon misconfiguration
 	// fails at startup, not mid-job. The daemon labels whole uploads at the
 	// canonical batch boundary, which is the zero value.
@@ -125,6 +131,8 @@ type Server struct {
 	stageSeconds *HistogramVec
 	jobSeconds   *Histogram
 	spoolFiles   *CounterVec
+
+	indexes *indexCache
 }
 
 // New builds a Server from a validated config and recovers the label store
@@ -158,9 +166,12 @@ func New(cfg Config) (*Server, error) {
 	s.cacheMisses = s.reg.Counter("mawilabd_cache_misses_total", "uploads that scheduled a labeling job")
 	s.jobsFinished = s.reg.CounterVec("mawilabd_jobs_finished_total", "labeling jobs by terminal state", "state")
 	s.stageSeconds = s.reg.HistogramVec("mawilabd_stage_seconds", "per-stage pipeline latency (ingest/detect/estimate/label)", "stage", nil)
-	s.jobSeconds = s.reg.Histogram("mawilabd_job_seconds", "whole-job wall-clock latency", nil)
+	s.jobSeconds = s.reg.Histogram("mawilabd_job_seconds", "whole-job wall-clock latency", JobBuckets)
 	s.spoolFiles = s.reg.CounterVec("mawilabd_spool_files_total", "spool files handled by outcome", "outcome")
 	store.DiskReads = s.reg.Counter("mawilabd_store_disk_reads_total", "label reads that missed the resident LRU")
+	s.indexes = newIndexCache(cfg.IndexCacheSize,
+		s.reg.Counter("mawilabd_index_cache_hits_total", "flow queries served from the per-digest trace index cache"),
+		s.reg.Counter("mawilabd_index_cache_misses_total", "flow queries that had to rebuild a trace index"))
 
 	s.engine = NewEngine(cfg.JobWorkers, cfg.QueueDepth, cfg.JobTimeout, s.runJob)
 	s.engine.JobSeconds = s.jobSeconds
@@ -169,6 +180,7 @@ func New(cfg Config) (*Server, error) {
 	s.reg.GaugeFunc("mawilabd_jobs_inflight", "labeling jobs currently running", func() int64 { return s.engine.Inflight() })
 	s.reg.GaugeFunc("mawilabd_store_entries", "completed labelings in the store", func() int64 { return int64(s.store.Len()) })
 	s.reg.GaugeFunc("mawilabd_store_resident", "store entries whose bytes are resident in memory", func() int64 { return int64(s.store.Resident()) })
+	s.reg.GaugeFunc("mawilabd_index_cache_entries", "trace indexes resident in the per-digest cache", func() int64 { return int64(s.indexes.len()) })
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/traces", s.handleUpload)
@@ -254,9 +266,14 @@ func (s *Server) runJob(ctx context.Context, j *Job, payload any) error {
 		Workers:   p.Workers,
 	}
 	for _, rep := range l.Reports {
+		src, sport, dst, dport := wirev1.BestRule(rep)
 		meta.Communities = append(meta.Communities, StoredCommunity{
 			Community: rep.Community,
 			Label:     rep.Label.String(),
+			SrcIP:     src,
+			SrcPort:   sport,
+			DstIP:     dst,
+			DstPort:   dport,
 			Heuristic: rep.Class.String(),
 			Category:  rep.Category.String(),
 			Packets:   rep.Packets,
@@ -264,7 +281,14 @@ func (s *Server) runJob(ctx context.Context, j *Job, payload any) error {
 			Score:     rep.Decision.Score,
 		})
 	}
-	return s.store.Put(meta, csv.Bytes(), admd.Bytes())
+	// Persist the (re-encoded) trace alongside the labels: the digest
+	// survives a pcap round trip, so flow-level queries can rebuild the
+	// index from the stored bytes without the original upload.
+	var pcap bytes.Buffer
+	if err := mawilab.WritePcap(&pcap, tr); err != nil {
+		return err
+	}
+	return s.store.Put(meta, csv.Bytes(), admd.Bytes(), pcap.Bytes())
 }
 
 // uploadResponse is the POST /v1/traces wire representation.
@@ -425,7 +449,107 @@ func (s *Server) handleCommunities(w http.ResponseWriter, r *http.Request) {
 		}
 		communities = filtered
 	}
+	if flowsParam := r.URL.Query().Get("flows"); flowsParam != "" {
+		limit, err := strconv.Atoi(flowsParam)
+		if err != nil || limit < 1 {
+			http.Error(w, "flows must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		s.serveCommunityFlows(w, meta.Digest, communities, limit)
+		return
+	}
 	writeJSON(w, http.StatusOK, communities)
+}
+
+// communityWithFlows is one community summary augmented with the flows its
+// best-rule filter matches — the ?flows=N response shape.
+type communityWithFlows struct {
+	StoredCommunity
+	// MatchedFlows holds up to N matching flows in ascending flow-table
+	// order, rendered "src:sport>dst:dport/proto" — deterministic for a
+	// given trace regardless of the cache state.
+	MatchedFlows []string `json:"matched_flows"`
+}
+
+// serveCommunityFlows resolves each community's best-rule filter against
+// the trace's flow table via the per-digest index cache.
+func (s *Server) serveCommunityFlows(w http.ResponseWriter, digest string, communities []StoredCommunity, limit int) {
+	ix, err := s.indexes.get(digest, func() (*trace.Index, error) {
+		data, known, err := s.store.TracePcap(digest)
+		if !known {
+			return nil, fmt.Errorf("serve: no stored trace for %s", digest)
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr, err := mawilab.ReadPcap(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("serve: decoding stored trace for %s: %w", digest, err)
+		}
+		return trace.NewIndex(tr), nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := make([]communityWithFlows, 0, len(communities))
+	for _, c := range communities {
+		out = append(out, communityWithFlows{
+			StoredCommunity: c,
+			MatchedFlows:    matchedFlows(ix, communityFilter(c), limit),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// communityFilter rebuilds the trace filter from a stored best-rule tuple.
+// Wildcards ("*") and fields from entries predating the tuple ("") leave
+// the dimension unconstrained; a malformed field degrades to unconstrained
+// rather than failing the query.
+func communityFilter(c StoredCommunity) trace.Filter {
+	f := trace.NewFilter()
+	if ip, err := trace.ParseIPv4(c.SrcIP); err == nil {
+		f = f.WithSrc(ip)
+	}
+	if ip, err := trace.ParseIPv4(c.DstIP); err == nil {
+		f = f.WithDst(ip)
+	}
+	if p, err := strconv.ParseUint(c.SrcPort, 10, 16); err == nil {
+		f = f.WithSrcPort(uint16(p))
+	}
+	if p, err := strconv.ParseUint(c.DstPort, 10, 16); err == nil {
+		f = f.WithDstPort(uint16(p))
+	}
+	return f
+}
+
+// matchedFlows returns up to limit flows matching the filter, in ascending
+// flow-table order: the index's posting lists prune when a constrained
+// field is posted, and the flow table is scanned otherwise.
+func matchedFlows(ix *trace.Index, f trace.Filter, limit int) []string {
+	out := make([]string, 0, limit)
+	if ids, ok := ix.CandidateFlows(f); ok {
+		for _, fi := range ids {
+			if len(out) >= limit {
+				break
+			}
+			if k := ix.Flow(int(fi)); f.MatchFlow(k) {
+				out = append(out, flowString(k))
+			}
+		}
+		return out
+	}
+	for fi := 0; fi < ix.Flows() && len(out) < limit; fi++ {
+		if k := ix.Flow(fi); f.MatchFlow(k) {
+			out = append(out, flowString(k))
+		}
+	}
+	return out
+}
+
+// flowString renders one flow key for the wire.
+func flowString(k trace.FlowKey) string {
+	return fmt.Sprintf("%s:%d>%s:%d/%s", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

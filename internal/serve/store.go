@@ -15,8 +15,17 @@ import (
 // unit the community-query endpoint serves without touching the heavy
 // labeling objects.
 type StoredCommunity struct {
-	Community int     `json:"community"`
-	Label     string  `json:"label"`
+	Community int    `json:"community"`
+	Label     string `json:"label"`
+	// SrcIP/SrcPort/DstIP/DstPort are the community's best-rule 4-tuple as
+	// the CSV schema renders it ("*" = wildcard) — the filter the flows
+	// query resolves against the trace index. Entries written before the
+	// tuple existed leave them empty, which the flows query treats as
+	// wildcards.
+	SrcIP     string  `json:"src_ip,omitempty"`
+	SrcPort   string  `json:"src_port,omitempty"`
+	DstIP     string  `json:"dst_ip,omitempty"`
+	DstPort   string  `json:"dst_port,omitempty"`
 	Heuristic string  `json:"heuristic"`
 	Category  string  `json:"category"`
 	Packets   int     `json:"packets"`
@@ -170,9 +179,11 @@ func (s *Store) Len() int {
 
 // Put persists one labeling atomically: every file is written into a
 // tmp-prefixed sibling directory which is then renamed into place, so a
-// reader (or a crash) can never observe a partial entry. Re-putting an
-// existing digest is an idempotent no-op.
-func (s *Store) Put(meta *EntryMeta, csv, admd []byte) error {
+// reader (or a crash) can never observe a partial entry. pcap, when
+// non-empty, is the encoded trace persisted alongside the labels so
+// flow-level queries can rebuild the trace index without the original
+// upload. Re-putting an existing digest is an idempotent no-op.
+func (s *Store) Put(meta *EntryMeta, csv, admd, pcap []byte) error {
 	if meta.Digest == "" {
 		return fmt.Errorf("serve: store: empty digest")
 	}
@@ -193,14 +204,21 @@ func (s *Store) Put(meta *EntryMeta, csv, admd []byte) error {
 	if err != nil {
 		return fmt.Errorf("serve: store: %w", err)
 	}
-	for _, f := range []struct {
+	files := []struct {
 		name string
 		data []byte
 	}{
 		{"labels.csv", csv},
 		{"labels.admd", admd},
 		{"meta.json", append(metaJSON, '\n')},
-	} {
+	}
+	if len(pcap) > 0 {
+		files = append(files, struct {
+			name string
+			data []byte
+		}{"trace.pcap", pcap})
+	}
+	for _, f := range files {
 		if err := os.WriteFile(filepath.Join(tmp, f.name), f.data, 0o644); err != nil {
 			return fmt.Errorf("serve: store: %w", err)
 		}
@@ -288,6 +306,23 @@ func (s *Store) touch(digest string) {
 			return
 		}
 	}
+}
+
+// TracePcap returns the persisted encoded trace for a digest. The second
+// result is false for unknown digests; a known entry written before trace
+// persistence existed returns an error from the underlying read.
+func (s *Store) TracePcap(digest string) ([]byte, bool, error) {
+	s.mu.Lock()
+	_, known := s.meta[digest]
+	s.mu.Unlock()
+	if !known {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, digest, "trace.pcap"))
+	if err != nil {
+		return nil, true, fmt.Errorf("serve: store: %w", err)
+	}
+	return data, true, nil
 }
 
 // Resident returns how many entries' bytes are currently in memory.

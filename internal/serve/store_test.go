@@ -21,7 +21,7 @@ func TestStorePutGetRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(testMeta("d1"), []byte("csv1"), []byte("admd1")); err != nil {
+	if err := s.Put(testMeta("d1"), []byte("csv1"), []byte("admd1"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if !s.Has("d1") || s.Has("nope") {
@@ -34,7 +34,7 @@ func TestStorePutGetRecover(t *testing.T) {
 		}
 	}
 	// Idempotent re-put.
-	if err := s.Put(testMeta("d1"), []byte("other"), []byte("other")); err != nil {
+	if err := s.Put(testMeta("d1"), []byte("other"), []byte("other"), nil); err != nil {
 		t.Fatal(err)
 	}
 	data, _, _ := s.Labels("d1", "csv")
@@ -98,7 +98,7 @@ func TestStoreLRUEviction(t *testing.T) {
 	var disk Counter
 	s.DiskReads = &disk
 	for _, d := range []string{"a", "b", "c"} {
-		if err := s.Put(testMeta(d), []byte("csv-"+d), []byte("admd-"+d)); err != nil {
+		if err := s.Put(testMeta(d), []byte("csv-"+d), []byte("admd-"+d), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -133,7 +133,7 @@ func TestStoreUnknownDigest(t *testing.T) {
 	if _, known, err := s.Labels("missing", "csv"); known || err != nil {
 		t.Errorf("unknown digest = known=%v err=%v", known, err)
 	}
-	if err := s.Put(&EntryMeta{}, nil, nil); err == nil {
+	if err := s.Put(&EntryMeta{}, nil, nil, nil); err == nil {
 		t.Error("empty digest accepted")
 	}
 }
@@ -144,7 +144,7 @@ func TestStoreList(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range []string{"b", "a"} {
-		if err := s.Put(testMeta(d), nil, nil); err != nil {
+		if err := s.Put(testMeta(d), nil, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -162,7 +162,7 @@ func TestStoreNoTmpAfterPut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(testMeta("d1"), []byte("c"), []byte("a")); err != nil {
+	if err := s.Put(testMeta("d1"), []byte("c"), []byte("a"), nil); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

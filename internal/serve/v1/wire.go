@@ -69,10 +69,7 @@ func WriteCSV(w io.Writer, reports []core.CommunityReport) error {
 		return err
 	}
 	for _, rep := range reports {
-		src, sport, dst, dport := "*", "*", "*", "*"
-		if len(rep.Rules) > 0 {
-			src, sport, dst, dport = ruleFields(rep.Rules[0].String())
-		}
+		src, sport, dst, dport := BestRule(rep)
 		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%s,%s,%s,%d,%d,%.4f\n",
 			rep.Community, rep.Label, src, sport, dst, dport,
 			rep.Class, rep.Category, rep.Packets, rep.Flows, rep.Decision.Score); err != nil {
@@ -87,6 +84,19 @@ func WriteCSV(w io.Writer, reports []core.CommunityReport) error {
 // may be nil (time spans are then omitted).
 func WriteADMD(w io.Writer, traceName string, tr *trace.Trace, reports []core.CommunityReport) error {
 	return admd.Encode(w, traceName, tr, reports)
+}
+
+// BestRule returns the community's best-rule 4-tuple exactly as the CSV
+// schema renders it: the first mined rule's (srcIP, srcPort, dstIP,
+// dstPort) with "*" for wildcards, and all-wildcards for a community with
+// no rules. It is the one tuple derivation shared by the CSV encoder and
+// the daemon's stored community metadata, so a stored tuple always matches
+// the served CSV row.
+func BestRule(rep core.CommunityReport) (src, sport, dst, dport string) {
+	if len(rep.Rules) == 0 {
+		return "*", "*", "*", "*"
+	}
+	return ruleFields(rep.Rules[0].String())
 }
 
 // ruleFields splits "<a, b, c, d>" into its four fields; anything malformed

@@ -9,8 +9,11 @@ GO ?= go
 # ratios too (GenerateDay also matches the day-level GenerateDays fan-out
 # benches). TraceIndex covers the shared columnar index build, Extract the
 # posting-list alarm extraction, and PipelineStream the segmented streaming
-# path (per-segment seal + detect, sliding-window labeling).
-BENCH_PATTERN ?= PipelineDay|PipelineStream|Detectors|Louvain|SimilarityGraph|GenerateDay|TraceIndex|Extract
+# path (per-segment seal + detect, sliding-window labeling). Ingest compares
+# the fused pcap→Index decode against the two-pass reference (its fused
+# sub-bench allocs/op is the steady-state serving cost), and HoughSparse
+# tracks the sparse Hough voting per tuning.
+BENCH_PATTERN ?= PipelineDay|PipelineStream|Detectors|Louvain|SimilarityGraph|GenerateDay|TraceIndex|Extract|Ingest|HoughSparse
 # Total-coverage floor for `make cover`, in percent. Set from the measured
 # coverage at the last raise (85.1% when the golden-fixture and fuzz tests
 # landed), rounded down; raise it as coverage grows, never lower it to make
@@ -18,6 +21,12 @@ BENCH_PATTERN ?= PipelineDay|PipelineStream|Detectors|Louvain|SimilarityGraph|Ge
 COVER_FLOOR ?= 85.0
 # ns/op regression tolerance for `make bench-gate`, as a fraction.
 BENCH_THRESHOLD ?= 0.25
+# allocs/op regression tolerance for `make bench-gate`. Deliberately much
+# looser than the ns/op bar: the gate is for order-of-magnitude leaks (a
+# dropped pool, a per-packet allocation), and pooled benches have
+# single-digit baselines where a couple of allocations of jitter already
+# doubles the ratio.
+BENCH_ALLOC_THRESHOLD ?= 2.0
 # Per-target budget for the `make fuzz` smoke (go test allows one -fuzz
 # pattern per invocation, so each fuzz target gets its own run).
 FUZZTIME ?= 10s
@@ -70,10 +79,12 @@ bench:
 
 # Benchmark-regression gate: compare the committed baseline against a fresh
 # BENCH_ci.json (run `make bench` first, as the CI job does) and fail when a
-# tracked benchmark's ns/op regresses past BENCH_THRESHOLD. Intentional
-# trade-offs skip the gate with a "[bench-skip]" commit-message tag in CI.
+# tracked benchmark's ns/op regresses past BENCH_THRESHOLD or its allocs/op
+# past BENCH_ALLOC_THRESHOLD. Intentional trade-offs skip the gate with a
+# "[bench-skip]" commit-message tag in CI.
 bench-gate:
-	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_ci.json -threshold $(BENCH_THRESHOLD)
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json BENCH_ci.json \
+		-threshold $(BENCH_THRESHOLD) -alloc-threshold $(BENCH_ALLOC_THRESHOLD)
 
 # Refresh the committed baseline from a fresh multi-iteration run (more
 # stable than the 1x smoke numbers). Do this in its own commit, with the
@@ -114,12 +125,14 @@ lint:
 	$(GO) run ./cmd/mawilint ./...
 
 # Short fuzzing smoke over the committed seed corpora plus FUZZTIME of fresh
-# exploration per target: the IPv4 parser invariants and the pcap
-# write→read round trip. A crash writes its reproducer into the package's
-# testdata/fuzz corpus — commit it with the fix.
+# exploration per target: the IPv4 parser invariants, the pcap write→read
+# round trip, and the fused-vs-reference ingest differential. A crash writes
+# its reproducer into the package's testdata/fuzz corpus — commit it with
+# the fix.
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzParseIPv4$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pcap -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pcap -run '^$$' -fuzz '^FuzzDecodeIndex$$' -fuzztime $(FUZZTIME)
 
 # Black-box daemon smoke: build the real mawilabd binary, boot it on a
 # random port, upload the golden fixture day over HTTP, assert the served

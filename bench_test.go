@@ -8,6 +8,7 @@ package mawilab
 // reproduced shape; cmd/experiments prints the full series.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -16,12 +17,14 @@ import (
 
 	"mawilab/internal/apriori"
 	"mawilab/internal/core"
+	"mawilab/internal/detectors"
 	"mawilab/internal/detectors/suite"
 	"mawilab/internal/eval"
 	"mawilab/internal/graphx"
 	"mawilab/internal/heuristics"
 	"mawilab/internal/mawigen"
 	"mawilab/internal/parallel"
+	"mawilab/internal/pcap"
 	"mawilab/internal/simgraph"
 	"mawilab/internal/stats"
 	"mawilab/internal/trace"
@@ -49,6 +52,7 @@ func benchDates(n, stepDays int) []time.Time {
 // BenchmarkTable1 measures the heuristics classifying every community of an
 // archive day.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	day := benchArchive().Day(time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC))
 	l, err := NewPipeline().Run(day.Trace)
 	if err != nil {
@@ -75,6 +79,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFig3 regenerates the similarity-estimator panels (3 granularities).
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	runner := eval.NewRunner(benchArchive(), suite.Standard())
 	dates := benchDates(2, 30)
 	b.ResetTimer()
@@ -91,6 +96,7 @@ func BenchmarkFig3(b *testing.B) {
 
 // BenchmarkFig4 regenerates rule metrics vs community size.
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	runner := eval.NewRunner(benchArchive(), suite.Standard())
 	dates := benchDates(2, 30)
 	b.ResetTimer()
@@ -107,6 +113,7 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5 regenerates the community-landscape buckets.
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	runner := eval.NewRunner(benchArchive(), suite.Standard())
 	dates := benchDates(2, 30)
 	b.ResetTimer()
@@ -136,6 +143,7 @@ func benchRatios(b *testing.B, nDays int) ([]eval.DayRatios, []*eval.DayResult) 
 // SCANN accepted attack ratio as a metric (paper: SCANN is the best
 // strategy for accepted communities).
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	ratios, _ := benchRatios(b, 3)
 	b.ResetTimer()
 	var scannMean float64
@@ -155,6 +163,7 @@ func BenchmarkFig6(b *testing.B) {
 
 // BenchmarkFig7 regenerates the attack-ratio time series.
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	ratios, _ := benchRatios(b, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -168,6 +177,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates the gain/cost decomposition for the three
 // highlighted detectors.
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	_, days := benchRatios(b, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -187,6 +197,7 @@ func BenchmarkFig8(b *testing.B) {
 // SCANN-to-best-detector ratio (paper headline: ≈2× the most accurate
 // detector).
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	_, days := benchRatios(b, 3)
 	b.ResetTimer()
 	var ratio float64
@@ -212,6 +223,7 @@ func BenchmarkFig9(b *testing.B) {
 
 // BenchmarkFig10 regenerates the relative-distance PDFs.
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	_, days := benchRatios(b, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -227,6 +239,7 @@ func BenchmarkFig10(b *testing.B) {
 
 // BenchmarkTable2 regenerates the SCANN gain/cost quadrants.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	_, days := benchRatios(b, 3)
 	b.ResetTimer()
 	var gainAcc float64
@@ -249,9 +262,11 @@ func BenchmarkTable2(b *testing.B) {
 // sub-benches (mawigen's TestGenerateDeterminism), so the ns/op ratio is
 // the pure sharding speedup the CI bench gate tracks.
 func BenchmarkGenerateDay(b *testing.B) {
+	b.ReportAllocs()
 	d := time.Date(2004, 5, 10, 0, 0, 0, 0, time.UTC)
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			arch := benchArchive()
 			arch.Workers = workers
 			for i := 0; i < b.N; i++ {
@@ -268,9 +283,11 @@ func BenchmarkGenerateDay(b *testing.B) {
 // worker-pool sizes (Archive.Days shards days across the pool; the traces
 // are identical at every setting).
 func BenchmarkGenerateDays(b *testing.B) {
+	b.ReportAllocs()
 	dates := benchDates(8, 40)
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			arch := benchArchive()
 			arch.Workers = workers
 			for i := 0; i < b.N; i++ {
@@ -313,10 +330,12 @@ func benchIndex(b *testing.B) *trace.Index {
 // shared trace index (built once, outside the timed loop, as in the
 // pipeline).
 func BenchmarkDetectors(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	for _, d := range suite.Standard() {
 		d := d
 		b.Run(d.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := d.Detect(ix, 0); err != nil {
 					b.Fatal(err)
@@ -329,6 +348,7 @@ func BenchmarkDetectors(b *testing.B) {
 // BenchmarkEstimate times the similarity estimator on a full ensemble
 // output.
 func BenchmarkEstimate(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
@@ -367,9 +387,11 @@ func detectAllForBench(ix *trace.Index) ([]core.Alarm, map[string]int, error) {
 // TestIndexParallelismDeterminism), so the ns/op ratio is the pure sharding
 // speedup the CI bench gate tracks.
 func BenchmarkTraceIndex(b *testing.B) {
+	b.ReportAllocs()
 	tr := benchTrace(b)
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ix, err := trace.BuildIndex(context.Background(), tr, workers)
 				if err != nil {
@@ -388,6 +410,7 @@ func BenchmarkTraceIndex(b *testing.B) {
 // full-table scan — fanning the ensemble's alarms out across several
 // worker-pool sizes, exactly as core.EstimateContext does.
 func BenchmarkExtract(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
@@ -399,6 +422,7 @@ func BenchmarkExtract(b *testing.B) {
 	ext := core.NewExtractor(ix, trace.GranUniFlow)
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				err := parallel.ForEach(context.Background(), len(alarms), workers, func(_ context.Context, ai int) error {
 					if ts := ext.Extract(&alarms[ai]); ts == nil {
@@ -422,6 +446,7 @@ func BenchmarkExtract(b *testing.B) {
 // Workers), so the ns/op ratio is the pure sharding speedup the CI bench
 // gate tracks.
 func BenchmarkSimilarityGraph(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
@@ -434,6 +459,7 @@ func BenchmarkSimilarityGraph(b *testing.B) {
 	}
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := simgraph.Config{Measure: simgraph.Simpson, MinSimilarity: 0.1, Workers: workers}
 			var edges float64
 			for i := 0; i < b.N; i++ {
@@ -450,6 +476,7 @@ func BenchmarkSimilarityGraph(b *testing.B) {
 
 // BenchmarkSCANN times the SCANN classification alone.
 func BenchmarkSCANN(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
@@ -474,6 +501,7 @@ func BenchmarkSCANN(b *testing.B) {
 // TestLouvainParallelismDeterminism), so the ns/op ratio is the pure
 // propose/commit parallelization speedup the CI bench gate tracks.
 func BenchmarkLouvain(b *testing.B) {
+	b.ReportAllocs()
 	g := graphx.New(400)
 	// 20 groups of 20, dense inside.
 	for grp := 0; grp < 20; grp++ {
@@ -491,6 +519,7 @@ func BenchmarkLouvain(b *testing.B) {
 	}
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var communities float64
 			for i := 0; i < b.N; i++ {
 				comm, err := g.LouvainContext(context.Background(), workers)
@@ -515,6 +544,7 @@ func BenchmarkLouvain(b *testing.B) {
 
 // BenchmarkApriori times rule mining over a realistic community.
 func BenchmarkApriori(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	txs := make([]apriori.Transaction, 0, ix.Flows())
 	for fi := 0; fi < ix.Flows() && len(txs) < 2000; fi++ {
@@ -532,9 +562,11 @@ func BenchmarkApriori(b *testing.B) {
 // the labeling output is byte-identical across sub-benches (see
 // TestParallelismDeterminism), so the ns/op ratio is the pure speedup.
 func BenchmarkPipelineDay(b *testing.B) {
+	b.ReportAllocs()
 	day := benchArchive().Day(time.Date(2005, 3, 7, 0, 0, 0, 0, time.UTC))
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			p := NewPipeline().Parallelism(workers)
 			for i := 0; i < b.N; i++ {
 				if _, err := p.Run(day.Trace); err != nil {
@@ -552,9 +584,11 @@ func BenchmarkPipelineDay(b *testing.B) {
 // (see TestStreamDeterminismMatrix), so the ns/op ratio is the pure speedup
 // of the per-segment index builds, detector fan-outs and window labelings.
 func BenchmarkPipelineStream(b *testing.B) {
+	b.ReportAllocs()
 	day := benchArchive().Day(time.Date(2005, 3, 7, 0, 0, 0, 0, time.UTC))
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			p := NewPipeline().Parallelism(workers)
 			p.Stream = StreamConfig{SegmentSeconds: 15, WindowSegments: 2, WindowStride: 1}
 			for i := 0; i < b.N; i++ {
@@ -585,6 +619,7 @@ func BenchmarkPipelineStream(b *testing.B) {
 // paper retains Simpson because containment across granularities must score
 // 1. The single-community count is reported per measure.
 func BenchmarkAblationSimilarity(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
@@ -593,6 +628,7 @@ func BenchmarkAblationSimilarity(b *testing.B) {
 	for _, m := range []core.Measure{core.Simpson, core.Jaccard, core.Constant} {
 		m := m
 		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.DefaultEstimatorConfig()
 			cfg.Measure = m
 			var singles float64
@@ -612,6 +648,7 @@ func BenchmarkAblationSimilarity(b *testing.B) {
 // components; components merge everything reachable, losing small dense
 // groups (community count reported).
 func BenchmarkAblationCommunities(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
@@ -620,6 +657,7 @@ func BenchmarkAblationCommunities(b *testing.B) {
 	for _, algo := range []core.CommunityAlgo{core.Louvain, core.ConnectedComponents} {
 		algo := algo
 		b.Run(algo.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.DefaultEstimatorConfig()
 			cfg.Algo = algo
 			var n float64
@@ -638,6 +676,7 @@ func BenchmarkAblationCommunities(b *testing.B) {
 // BenchmarkAblationGranularity compares the three traffic granularities
 // (paper Fig 3: flows relate more alarms than packets).
 func BenchmarkAblationGranularity(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	alarms, _, err := detectAllForBench(ix)
 	if err != nil {
@@ -646,6 +685,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 	for _, g := range []trace.Granularity{trace.GranPacket, trace.GranUniFlow, trace.GranBiFlow} {
 		g := g
 		b.Run(g.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.DefaultEstimatorConfig()
 			cfg.Granularity = g
 			var singles float64
@@ -665,6 +705,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 // boundary of §4.2.3/§5 and reports how many rejected communities fall in
 // the Suspicious band at each setting.
 func BenchmarkAblationThreshold(b *testing.B) {
+	b.ReportAllocs()
 	ix := benchIndex(b)
 	alarms, totals, err := detectAllForBench(ix)
 	if err != nil {
@@ -681,6 +722,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 	for _, th := range []float64{0.25, 0.5, 1.0} {
 		th := th
 		b.Run(thName(th), func(b *testing.B) {
+			b.ReportAllocs()
 			var suspicious float64
 			for i := 0; i < b.N; i++ {
 				n := 0
@@ -709,9 +751,88 @@ func thName(th float64) string {
 
 // BenchmarkCondorcet validates §2.2.1's majority-vote background math.
 func BenchmarkCondorcet(b *testing.B) {
+	b.ReportAllocs()
 	var p float64
 	for i := 0; i < b.N; i++ {
 		p = core.CondorcetMajorityProbability(25, 0.7)
 	}
 	b.ReportMetric(p, "p_maj_25_0.7")
+}
+
+// --- Raw-speed benches: fused ingest and sparse Hough ---------------------
+
+// BenchmarkIngest compares the two pcap→Index ingest paths on identical
+// bytes: the fused single-pass DecodeIndex (pooled arena, released each
+// iteration — the steady-state serving path) against the two-pass
+// ReadTrace+BuildIndex reference at each worker count. allocs/op on the
+// fused sub-bench is the serving path's steady-state allocation cost.
+func BenchmarkIngest(b *testing.B) {
+	b.ReportAllocs()
+	var buf bytes.Buffer
+	if err := pcap.WriteTrace(&buf, benchTrace(b)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		// One untimed decode warms the arena pool so the measurement is the
+		// steady-state serving cost at any -benchtime, including the 1x
+		// smoke run (allocs/op is gated; a cold pool would dominate it).
+		if ix, err := pcap.DecodeIndex(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		} else {
+			ix.Release()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix, err := pcap.DecodeIndex(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix.Release()
+		}
+	})
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("reference/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				tr, err := pcap.ReadTrace(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := trace.BuildIndex(context.Background(), tr, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHoughSparse times the sparse Hough detector per tuning over the
+// shared bench index (the suite detector BenchmarkDetectors/hough times only
+// the optimal tuning).
+func BenchmarkHoughSparse(b *testing.B) {
+	b.ReportAllocs()
+	ix := benchIndex(b)
+	var det detectors.Detector
+	for _, d := range suite.Standard() {
+		if d.Name() == "hough" {
+			det = d
+		}
+	}
+	if det == nil {
+		b.Fatal("suite has no hough detector")
+	}
+	for c := 0; c < det.NumConfigs(); c++ {
+		b.Run(fmt.Sprintf("config=%d", c), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Detect(ix, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

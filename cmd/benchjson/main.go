@@ -9,7 +9,7 @@
 //
 // It is also the CI benchmark-regression gate:
 //
-//	benchjson -compare BENCH_baseline.json BENCH_ci.json -threshold 0.25
+//	benchjson -compare BENCH_baseline.json BENCH_ci.json -threshold 0.25 -alloc-threshold 1.0
 //
 // and the load-test regression gate:
 //
@@ -26,7 +26,11 @@
 // adding a bench to BENCH_PATTERN requires refreshing the baseline in the
 // same commit (`make bench-baseline`). Benchmarks present only in the
 // baseline warn but never fail, so retiring a bench needs no simultaneous
-// refresh.
+// refresh. When both records carry an allocs/op metric it is gated too,
+// against the looser -alloc-threshold fraction (default 1.0, i.e. allowed to
+// double): allocation counts are deterministic enough to track but step with
+// implementation detail, so the gate catches order-of-magnitude leaks, not
+// single extra allocations.
 package main
 
 import (
@@ -77,13 +81,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	oldPath, newPath, threshold, err := parseArgs(args)
+	oldPath, newPath, threshold, allocThreshold, err := parseArgs(args)
 	if err != nil {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
 		return 2
 	}
 	if oldPath != "" {
-		regressions, tracked, missing, err := compareFiles(stdout, oldPath, newPath, threshold)
+		regressions, tracked, missing, err := compareFiles(stdout, oldPath, newPath, threshold, allocThreshold)
 		if err != nil {
 			fmt.Fprintf(stderr, "benchjson: %v\n", err)
 			return 2
@@ -116,36 +120,47 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 }
 
 // parseArgs hand-parses the flags so `-compare old.json new.json` can take
-// its two file operands directly, with -threshold anywhere on the line.
-func parseArgs(args []string) (oldPath, newPath string, threshold float64, err error) {
+// its two file operands directly, with -threshold / -alloc-threshold
+// anywhere on the line.
+func parseArgs(args []string) (oldPath, newPath string, threshold, allocThreshold float64, err error) {
 	threshold = 0.25
+	allocThreshold = 1.0
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-compare", "--compare":
 			if i+2 >= len(args) {
-				return "", "", 0, fmt.Errorf("-compare needs two files: old.json new.json")
+				return "", "", 0, 0, fmt.Errorf("-compare needs two files: old.json new.json")
 			}
 			oldPath, newPath = args[i+1], args[i+2]
 			i += 2
 		case "-threshold", "--threshold":
 			if i+1 >= len(args) {
-				return "", "", 0, fmt.Errorf("-threshold needs a value")
+				return "", "", 0, 0, fmt.Errorf("-threshold needs a value")
 			}
 			threshold, err = strconv.ParseFloat(args[i+1], 64)
 			if err != nil || threshold < 0 {
-				return "", "", 0, fmt.Errorf("bad -threshold %q", args[i+1])
+				return "", "", 0, 0, fmt.Errorf("bad -threshold %q", args[i+1])
+			}
+			i++
+		case "-alloc-threshold", "--alloc-threshold":
+			if i+1 >= len(args) {
+				return "", "", 0, 0, fmt.Errorf("-alloc-threshold needs a value")
+			}
+			allocThreshold, err = strconv.ParseFloat(args[i+1], 64)
+			if err != nil || allocThreshold < 0 {
+				return "", "", 0, 0, fmt.Errorf("bad -alloc-threshold %q", args[i+1])
 			}
 			i++
 		default:
-			return "", "", 0, fmt.Errorf("unknown argument %q", args[i])
+			return "", "", 0, 0, fmt.Errorf("unknown argument %q", args[i])
 		}
 	}
 	if len(args) > 0 && oldPath == "" {
-		// -threshold alone would silently fall through to convert mode and
-		// block on stdin with the threshold dropped.
-		return "", "", 0, fmt.Errorf("-threshold is only meaningful with -compare old.json new.json")
+		// A threshold flag alone would silently fall through to convert mode
+		// and block on stdin with the threshold dropped.
+		return "", "", 0, 0, fmt.Errorf("threshold flags are only meaningful with -compare old.json new.json")
 	}
-	return oldPath, newPath, threshold, nil
+	return oldPath, newPath, threshold, allocThreshold, nil
 }
 
 // compareLoad gates a mawiload report against the committed load baseline:
@@ -224,7 +239,7 @@ func parseLine(line string) (Record, bool) {
 // w, returning how many benchmarks regressed past the threshold, how many
 // were tracked (present in both files), and how many new-run benchmarks have
 // no baseline entry.
-func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (regressions, tracked, missing int, err error) {
+func compareFiles(w io.Writer, oldPath, newPath string, threshold, allocThreshold float64) (regressions, tracked, missing int, err error) {
 	oldRecs, err := loadRecords(oldPath)
 	if err != nil {
 		return 0, 0, 0, err
@@ -233,7 +248,7 @@ func compareFiles(w io.Writer, oldPath, newPath string, threshold float64) (regr
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	regressions, tracked, missing = compare(w, oldRecs, newRecs, threshold)
+	regressions, tracked, missing = compare(w, oldRecs, newRecs, threshold, allocThreshold)
 	return regressions, tracked, missing, nil
 }
 
@@ -276,7 +291,13 @@ func normalizeName(name string) string {
 // is an untracked perf path, so landing one requires a `make bench-baseline`
 // refresh in the same commit. A baseline of 0 ns/op can't regress. Order
 // follows the old file, so gate output is stable across runs.
-func compare(w io.Writer, oldRecs, newRecs []Record, threshold float64) (regressions, tracked, missing int) {
+//
+// When a benchmark carries an allocs/op metric in both files and the
+// baseline is nonzero, it is gated the same way against allocThreshold — a
+// deliberately looser bar than ns/op, catching allocation-count blowups
+// (a dropped pool, a per-packet allocation) without flaking on single-digit
+// drift.
+func compare(w io.Writer, oldRecs, newRecs []Record, threshold, allocThreshold float64) (regressions, tracked, missing int) {
 	newBy := make(map[string]Record, len(newRecs))
 	for _, r := range newRecs {
 		newBy[normalizeName(r.Name)] = r
@@ -308,6 +329,18 @@ func compare(w io.Writer, oldRecs, newRecs []Record, threshold float64) (regress
 		}
 		fmt.Fprintf(w, "%-60s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n",
 			name, o.NsPerOp, n.NsPerOp, ratio, verdict)
+		oa, oldHas := o.Metrics["allocs/op"]
+		na, newHas := n.Metrics["allocs/op"]
+		if oldHas && newHas && oa > 0 {
+			aratio := na / oa
+			averdict := "ok"
+			if aratio > 1+allocThreshold {
+				averdict = "REGRESSED"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-60s %12.0f -> %12.0f allocs/op  (%.2fx)  %s\n",
+				name, oa, na, aratio, averdict)
+		}
 	}
 	for _, n := range newRecs {
 		if !seen[normalizeName(n.Name)] {

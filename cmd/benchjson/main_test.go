@@ -39,18 +39,18 @@ func TestParseLine(t *testing.T) {
 
 func TestParseArgs(t *testing.T) {
 	// The documented gate invocation: -compare old new -threshold 0.25.
-	oldP, newP, th, err := parseArgs([]string{"-compare", "a.json", "b.json", "-threshold", "0.5"})
+	oldP, newP, th, _, err := parseArgs([]string{"-compare", "a.json", "b.json", "-threshold", "0.5"})
 	if err != nil || oldP != "a.json" || newP != "b.json" || th != 0.5 {
 		t.Errorf("parsed (%q, %q, %v, %v)", oldP, newP, th, err)
 	}
 	// Threshold before -compare works too, and defaults to 0.25.
-	if _, _, th, err := parseArgs([]string{"-threshold", "0.1", "-compare", "a", "b"}); err != nil || th != 0.1 {
+	if _, _, th, _, err := parseArgs([]string{"-threshold", "0.1", "-compare", "a", "b"}); err != nil || th != 0.1 {
 		t.Errorf("flag order rejected: th=%v err=%v", th, err)
 	}
-	if _, _, th, err := parseArgs([]string{"-compare", "a", "b"}); err != nil || th != 0.25 {
+	if _, _, th, _, err := parseArgs([]string{"-compare", "a", "b"}); err != nil || th != 0.25 {
 		t.Errorf("default threshold = %v, err = %v, want 0.25", th, err)
 	}
-	if _, _, _, err := parseArgs(nil); err != nil {
+	if _, _, _, _, err := parseArgs(nil); err != nil {
 		t.Errorf("bare invocation (convert mode) rejected: %v", err)
 	}
 	for _, bad := range [][]string{
@@ -60,7 +60,7 @@ func TestParseArgs(t *testing.T) {
 		{"-threshold", "0.3"}, // threshold without compare: would silently convert
 		{"stray-operand"},
 	} {
-		if _, _, _, err := parseArgs(bad); err == nil {
+		if _, _, _, _, err := parseArgs(bad); err == nil {
 			t.Errorf("args %v accepted", bad)
 		}
 	}
@@ -80,7 +80,7 @@ func TestCompareFailsOnSyntheticRegression(t *testing.T) {
 	oldRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 1000.0, "BenchmarkPipelineDay/workers=4-4", 2000.0)
 	newRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 1300.0, "BenchmarkPipelineDay/workers=4-4", 2100.0)
 	var sb strings.Builder
-	if got, _, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 1 {
+	if got, _, _ := compare(&sb, oldRecs, newRecs, 0.25, 1.0); got != 1 {
 		t.Fatalf("regressions = %d, want 1 (30%% > 25%% threshold)\n%s", got, sb.String())
 	}
 	if !strings.Contains(sb.String(), "REGRESSED") {
@@ -110,7 +110,7 @@ func TestCompareAcrossCoreCounts(t *testing.T) {
 	oldRecs := recs("BenchmarkSimilarityGraph/workers=1", 1000.0)
 	newRecs := recs("BenchmarkSimilarityGraph/workers=1-4", 2000.0)
 	var sb strings.Builder
-	if got, tracked, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 1 || tracked != 1 {
+	if got, tracked, _ := compare(&sb, oldRecs, newRecs, 0.25, 1.0); got != 1 || tracked != 1 {
 		t.Fatalf("regressions = %d, tracked = %d, want 1/1 — cross-machine names didn't match\n%s", got, tracked, sb.String())
 	}
 }
@@ -119,7 +119,7 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 	oldRecs := recs("BenchmarkA-1", 1000.0, "BenchmarkB-1", 500.0)
 	newRecs := recs("BenchmarkA-1", 1240.0, "BenchmarkB-1", 100.0) // +24% and a speedup
 	var sb strings.Builder
-	if got, _, _ := compare(&sb, oldRecs, newRecs, 0.25); got != 0 {
+	if got, _, _ := compare(&sb, oldRecs, newRecs, 0.25, 1.0); got != 0 {
 		t.Fatalf("regressions = %d, want 0\n%s", got, sb.String())
 	}
 }
@@ -132,7 +132,7 @@ func TestCompareMissingFromBaselineFails(t *testing.T) {
 	oldRecs := recs("BenchmarkKept-1", 1000.0, "BenchmarkZero-1", 0.0)
 	newRecs := recs("BenchmarkKept-1", 1000.0, "BenchmarkBrandNew-1", 9999999.0, "BenchmarkZero-1", 123.0)
 	var sb strings.Builder
-	regressions, tracked, missing := compare(&sb, oldRecs, newRecs, 0.25)
+	regressions, tracked, missing := compare(&sb, oldRecs, newRecs, 0.25, 1.0)
 	if regressions != 0 {
 		t.Errorf("regressions = %d, want 0 — an unbaselined benchmark is missing, not regressed", regressions)
 	}
@@ -162,7 +162,7 @@ func TestCompareBaselineOnlyWarns(t *testing.T) {
 	oldRecs := recs("BenchmarkKept-1", 1000.0, "BenchmarkVanished-1", 1000.0)
 	newRecs := recs("BenchmarkKept-1", 1000.0)
 	var sb strings.Builder
-	regressions, tracked, missing := compare(&sb, oldRecs, newRecs, 0.25)
+	regressions, tracked, missing := compare(&sb, oldRecs, newRecs, 0.25, 1.0)
 	if regressions != 0 {
 		t.Errorf("regressions = %d, want 0 — a vanished benchmark must warn, not fail", regressions)
 	}
@@ -188,10 +188,10 @@ func TestCompareBaselineOnlyWarns(t *testing.T) {
 // nothing and must not read as a green gate.
 func TestCompareTrackedCount(t *testing.T) {
 	var sb strings.Builder
-	if _, tracked, missing := compare(&sb, recs("BenchmarkA-1", 100.0), recs("BenchmarkB-1", 100.0), 0.25); tracked != 0 || missing != 1 {
+	if _, tracked, missing := compare(&sb, recs("BenchmarkA-1", 100.0), recs("BenchmarkB-1", 100.0), 0.25, 1.0); tracked != 0 || missing != 1 {
 		t.Errorf("disjoint files: tracked = %d, missing = %d, want 0/1", tracked, missing)
 	}
-	if _, tracked, _ := compare(&sb, recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 0.0), recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 5.0), 0.25); tracked != 2 {
+	if _, tracked, _ := compare(&sb, recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 0.0), recs("BenchmarkA-1", 100.0, "BenchmarkZero-1", 5.0), 0.25, 1.0); tracked != 2 {
 		t.Errorf("tracked = %d, want 2 (zero-baseline benches still count as tracked)", tracked)
 	}
 }
@@ -209,18 +209,18 @@ func TestCompareFilesEndToEnd(t *testing.T) {
 	writeJSON(oldPath, `[{"name":"BenchmarkX-1","iterations":1,"ns_per_op":100}]`)
 	writeJSON(newPath, `[{"name":"BenchmarkX-1","iterations":1,"ns_per_op":200}]`)
 	var sb strings.Builder
-	n, tracked, missing, err := compareFiles(&sb, oldPath, newPath, 0.25)
+	n, tracked, missing, err := compareFiles(&sb, oldPath, newPath, 0.25, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 || tracked != 1 || missing != 0 {
 		t.Errorf("regressions = %d, tracked = %d, missing = %d, want 1/1/0 (2.00x)\n%s", n, tracked, missing, sb.String())
 	}
-	if _, _, _, err := compareFiles(&sb, oldPath, filepath.Join(dir, "missing.json"), 0.25); err == nil {
+	if _, _, _, err := compareFiles(&sb, oldPath, filepath.Join(dir, "missing.json"), 0.25, 1.0); err == nil {
 		t.Error("missing new.json accepted")
 	}
 	writeJSON(newPath, `{not json`)
-	if _, _, _, err := compareFiles(&sb, oldPath, newPath, 0.25); err == nil {
+	if _, _, _, err := compareFiles(&sb, oldPath, newPath, 0.25, 1.0); err == nil {
 		t.Error("malformed JSON accepted")
 	}
 }
@@ -234,5 +234,55 @@ func TestConvertRoundTrip(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, `"BenchmarkX-1"`) || !strings.Contains(out, `"ns_per_op": 200`) {
 		t.Errorf("convert output:\n%s", out)
+	}
+}
+
+func TestParseArgsAllocThreshold(t *testing.T) {
+	if _, _, _, at, err := parseArgs([]string{"-compare", "a", "b"}); err != nil || at != 1.0 {
+		t.Errorf("default alloc threshold: at = %v, err = %v", at, err)
+	}
+	if _, _, _, at, err := parseArgs([]string{"-compare", "a", "b", "-alloc-threshold", "0.5"}); err != nil || at != 0.5 {
+		t.Errorf("alloc threshold: at = %v, err = %v", at, err)
+	}
+	for _, bad := range [][]string{
+		{"-alloc-threshold"},
+		{"-compare", "a", "b", "-alloc-threshold", "nope"},
+		{"-compare", "a", "b", "-alloc-threshold", "-1"},
+		{"-alloc-threshold", "0.5"}, // threshold flag without -compare
+	} {
+		if _, _, _, _, err := parseArgs(bad); err == nil {
+			t.Errorf("parseArgs(%v) accepted", bad)
+		}
+	}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	withAllocs := func(name string, ns, allocs float64) Record {
+		return Record{Name: name, Iterations: 1, NsPerOp: ns, Metrics: map[string]float64{"allocs/op": allocs}}
+	}
+	oldRecs := []Record{withAllocs("BenchmarkA-1", 100, 50)}
+
+	// Faster but allocating 3x: the ns/op gate passes, the alloc gate fails.
+	var sb strings.Builder
+	if got, tracked, _ := compare(&sb, oldRecs, []Record{withAllocs("BenchmarkA-1", 90, 150)}, 0.25, 1.0); got != 1 || tracked != 1 {
+		t.Errorf("alloc blowup: regressions = %d, tracked = %d\n%s", got, tracked, sb.String())
+	}
+	// Within the loose alloc bar (exactly 2.0x when threshold is 1.0): ok.
+	sb.Reset()
+	if got, _, _ := compare(&sb, oldRecs, []Record{withAllocs("BenchmarkA-1", 90, 100)}, 0.25, 1.0); got != 0 {
+		t.Errorf("within alloc bar flagged: regressions = %d\n%s", got, sb.String())
+	}
+	// No allocs/op on either side, or a zero baseline: never gated.
+	sb.Reset()
+	if got, _, _ := compare(&sb,
+		[]Record{{Name: "BenchmarkA-1", Iterations: 1, NsPerOp: 100}, withAllocs("BenchmarkZ-1", 100, 0)},
+		[]Record{withAllocs("BenchmarkA-1", 100, 9999), withAllocs("BenchmarkZ-1", 100, 9999)},
+		0.25, 1.0); got != 0 {
+		t.Errorf("ungateable allocs flagged: regressions = %d\n%s", got, sb.String())
+	}
+	// Both ns/op and allocs/op regress: both count.
+	sb.Reset()
+	if got, _, _ := compare(&sb, oldRecs, []Record{withAllocs("BenchmarkA-1", 300, 300)}, 0.25, 1.0); got != 2 {
+		t.Errorf("double regression: regressions = %d\n%s", got, sb.String())
 	}
 }

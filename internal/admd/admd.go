@@ -57,9 +57,17 @@ type Slice struct {
 // namespace is the admd namespace URI used by MAWILab documents.
 const namespace = "http://www.fukuda-lab.org/mawilab/admd"
 
+// TimeSpan supplies the trace duration anomaly time spans derive from. Both
+// *trace.Trace and *trace.Index satisfy it, so the fused serving path can
+// encode straight off the columnar index. Callers holding a possibly-nil
+// concrete pointer must pass a nil interface, not a typed nil.
+type TimeSpan interface {
+	Duration() float64
+}
+
 // Encode writes the labeling as an admd XML document. Benign traffic is
 // implicit (anything not covered), matching the published database.
-func Encode(w io.Writer, traceName string, tr *trace.Trace, reports []core.CommunityReport) error {
+func Encode(w io.Writer, traceName string, tr TimeSpan, reports []core.CommunityReport) error {
 	doc := Document{Namespace: namespace, Trace: traceName}
 	for _, rep := range reports {
 		if rep.Label == core.Benign {
@@ -100,7 +108,7 @@ func Encode(w io.Writer, traceName string, tr *trace.Trace, reports []core.Commu
 // stored on the report, so the span covers the whole trace segment the
 // community's packets lie in — callers holding the Labeling can compute a
 // tighter span).
-func spanOf(tr *trace.Trace, rep core.CommunityReport) (TimeRef, TimeRef) {
+func spanOf(tr TimeSpan, rep core.CommunityReport) (TimeRef, TimeRef) {
 	// Reports do not retain packet indices; use trace bounds.
 	from := TimeRef{Sec: 0, Usec: 0}
 	dur := tr.Duration()
@@ -147,13 +155,6 @@ func splitTuple(s string) []string {
 		}
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Decode reads an admd document back.

@@ -77,7 +77,7 @@ func FromFlow(k trace.FlowKey) Transaction {
 }
 
 // FromPacket itemizes a packet.
-func FromPacket(p *trace.Packet) Transaction { return FromFlow(p.Flow()) }
+func FromPacket(p trace.Packet) Transaction { return FromFlow(p.Flow()) }
 
 // Rule is a frequent itemset: a partial 4-tuple with its support.
 type Rule struct {

@@ -218,7 +218,7 @@ func TestItemAndFieldString(t *testing.T) {
 
 func TestFromPacketMatchesFlow(t *testing.T) {
 	p := trace.Packet{Src: trace.MakeIPv4(1, 1, 1, 1), Dst: trace.MakeIPv4(2, 2, 2, 2), SrcPort: 5, DstPort: 6, Proto: trace.UDP}
-	tx := FromPacket(&p)
+	tx := FromPacket(p)
 	if len(tx) != 4 {
 		t.Fatalf("transaction has %d items", len(tx))
 	}

@@ -1,0 +1,262 @@
+package hough
+
+// This file keeps the original dense (map-rasterized, full-accumulator)
+// detectPlane verbatim as a reference implementation, and pins the sparse
+// production path to it: on randomized traces, across every tuning, the two
+// must emit identical alarms. Any divergence — ordering, tie-breaking,
+// aggregation totals, float rounding — fails here before it can drift a
+// golden fixture.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"mawilab/internal/core"
+	"mawilab/internal/detectors"
+	"mawilab/internal/mawigen"
+	"mawilab/internal/sketch"
+	"mawilab/internal/trace"
+)
+
+// cellKey addresses one plot cell in the dense reference.
+type cellKey struct{ x, y int }
+
+// denseDetect mirrors Detector.Detect but routes through densePlane.
+func denseDetect(d *Detector, ix *trace.Index, config int) ([]core.Alarm, error) {
+	if err := detectors.CheckConfig(d, config); err != nil {
+		return nil, err
+	}
+	cols := int(math.Ceil(ix.Duration()/d.TimeBin)) + 1
+	if ix.Len() == 0 || cols < 6 {
+		return nil, nil
+	}
+	tn := d.tunings[config]
+	var alarms []core.Alarm
+	alarms = append(alarms, densePlane(d, ix, config, tn, cols, true)...)
+	alarms = append(alarms, densePlane(d, ix, config, tn, cols, false)...)
+	return alarms, nil
+}
+
+// densePlane is the pre-sparse detectPlane, unchanged.
+func densePlane(d *Detector, ix *trace.Index, config int, tn tuning, cols int, dstPlane bool) []core.Alarm {
+	sk := sketch.New(d.Rows, d.Seed^uint64(boolToInt(dstPlane))<<17)
+	counts := make(map[cellKey]int)
+	cellFlows := make(map[cellKey]map[int32]int)
+	addrs := ix.Src
+	if dstPlane {
+		addrs = ix.Dst
+	}
+	for pi := 0; pi < ix.Len(); pi++ {
+		c := cellKey{x: int(ix.Seconds[pi] / d.TimeBin), y: sk.Bin(addrs[pi])}
+		counts[c]++
+		m := cellFlows[c]
+		if m == nil {
+			m = make(map[int32]int)
+			cellFlows[c] = m
+		}
+		m[ix.FlowIDOf(pi)]++
+	}
+	var on []cellKey
+	for c, n := range counts {
+		if n >= tn.cellMin {
+			on = append(on, c)
+		}
+	}
+	if len(on) == 0 {
+		return nil
+	}
+	sort.Slice(on, func(i, j int) bool {
+		if on[i].x != on[j].x {
+			return on[i].x < on[j].x
+		}
+		return on[i].y < on[j].y
+	})
+
+	diag := math.Hypot(float64(cols), float64(d.Rows))
+	rhoBins := 2*int(diag) + 1
+	acc := make([][]int32, d.Angles)
+	sinT := make([]float64, d.Angles)
+	cosT := make([]float64, d.Angles)
+	for a := 0; a < d.Angles; a++ {
+		theta := math.Pi * float64(a) / float64(d.Angles)
+		sinT[a] = math.Sin(theta)
+		cosT[a] = math.Cos(theta)
+		acc[a] = make([]int32, rhoBins)
+	}
+	for _, c := range on {
+		for a := 0; a < d.Angles; a++ {
+			rho := float64(c.x)*cosT[a] + float64(c.y)*sinT[a]
+			rb := int(rho + diag)
+			if rb >= 0 && rb < rhoBins {
+				acc[a][rb]++
+			}
+		}
+	}
+
+	minVotes := int32(math.Max(4, tn.voteShare*float64(cols)))
+	type line struct {
+		a, rb int
+		votes int32
+	}
+	var lines []line
+	for a := 0; a < d.Angles; a++ {
+		for rb := 0; rb < rhoBins; rb++ {
+			v := acc[a][rb]
+			if v < minVotes {
+				continue
+			}
+			if denseLocalMax(acc, a, rb, v) {
+				lines = append(lines, line{a, rb, v})
+			}
+		}
+	}
+	if len(lines) == 0 {
+		return nil
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].votes != lines[j].votes {
+			return lines[i].votes > lines[j].votes
+		}
+		if lines[i].a != lines[j].a {
+			return lines[i].a < lines[j].a
+		}
+		return lines[i].rb < lines[j].rb
+	})
+	if len(lines) > 8 {
+		lines = lines[:8]
+	}
+
+	var alarms []core.Alarm
+	claimed := make(map[cellKey]bool)
+	for _, ln := range lines {
+		hostPkts := make(map[trace.IPv4]int)
+		hostPorts := make(map[trace.IPv4]map[uint16]int)
+		var minX, maxX = math.MaxInt32, -1
+		for _, c := range on {
+			if claimed[c] {
+				continue
+			}
+			rho := float64(c.x)*cosT[ln.a] + float64(c.y)*sinT[ln.a]
+			if math.Abs(rho-(float64(ln.rb)-diag)) > 1.0 {
+				continue
+			}
+			claimed[c] = true
+			for fid, n := range cellFlows[c] {
+				k := ix.Flow(int(fid))
+				host := k.Src
+				if dstPlane {
+					host = k.Dst
+				}
+				hostPkts[host] += n
+				pm := hostPorts[host]
+				if pm == nil {
+					pm = make(map[uint16]int)
+					hostPorts[host] = pm
+				}
+				pm[k.DstPort] += n
+			}
+			if c.x < minX {
+				minX = c.x
+			}
+			if c.x > maxX {
+				maxX = c.x
+			}
+		}
+		if len(hostPkts) == 0 {
+			continue
+		}
+		alarm := core.Alarm{
+			Detector: d.Name(),
+			Config:   config,
+			Score:    float64(ln.votes),
+			Note:     planeName(dstPlane) + " line",
+		}
+		from := float64(minX) * d.TimeBin
+		to := float64(maxX+1) * d.TimeBin
+		for _, host := range topHosts(hostPkts, d.MaxFilters) {
+			f := trace.NewFilter().WithInterval(from, to)
+			if dstPlane {
+				f = f.WithDst(host)
+			} else {
+				f = f.WithSrc(host)
+			}
+			if port, share := dominantPort(hostPorts[host]); share >= 0.6 {
+				f = f.WithDstPort(port)
+			}
+			alarm.Filters = append(alarm.Filters, f)
+		}
+		alarms = append(alarms, alarm)
+	}
+	return alarms
+}
+
+func denseLocalMax(acc [][]int32, a, rb int, v int32) bool {
+	for da := -1; da <= 1; da++ {
+		na := a + da
+		if na < 0 || na >= len(acc) {
+			continue
+		}
+		for dr := -2; dr <= 2; dr++ {
+			nr := rb + dr
+			if nr < 0 || nr >= len(acc[na]) || (da == 0 && dr == 0) {
+				continue
+			}
+			nv := acc[na][nr]
+			if nv > v {
+				return false
+			}
+			if nv == v && (na < a || (na == a && nr < rb)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSparseMatchesDense pins the sparse detectPlane to the dense reference
+// on randomized traces across every tuning. Several seeds and anomaly mixes
+// exercise empty planes, single lines, overlapping lines, and the claimed
+// -cell dedup between lines; each Detect call also reuses the scratch pool,
+// so cross-call contamination would surface as a mismatch too.
+func TestSparseMatchesDense(t *testing.T) {
+	specs := [][]mawigen.Spec{
+		nil, // background only
+		{{Kind: mawigen.KindPortScan, Start: 10, Duration: 25, Rate: 120}},
+		{{Kind: mawigen.KindICMPFlood, Start: 15, Duration: 20, Rate: 200}},
+		{
+			{Kind: mawigen.KindPortScan, Start: 5, Duration: 30, Rate: 90},
+			{Kind: mawigen.KindICMPFlood, Start: 20, Duration: 15, Rate: 150},
+			{Kind: mawigen.KindElephant, Start: 0, Duration: 40, Rate: 60},
+		},
+	}
+	for si, anoms := range specs {
+		for _, seed := range []int64{401, 877, 1229} {
+			cfg := mawigen.DefaultConfig(seed)
+			cfg.BackgroundRate = 200
+			cfg.Anomalies = anoms
+			ix := trace.NewIndex(mawigen.Generate(cfg).Trace)
+			d := New(5)
+			for cfgID := 0; cfgID < d.NumConfigs(); cfgID++ {
+				want, err := denseDetect(d, ix, cfgID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := d.Detect(ix, cfgID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("spec %d seed %d config %d: sparse %d alarms, dense %d",
+						si, seed, cfgID, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].String() != want[i].String() {
+						t.Fatalf("spec %d seed %d config %d alarm %d:\nsparse %s\ndense  %s",
+							si, seed, cfgID, i, got[i].String(), want[i].String())
+					}
+				}
+			}
+		}
+	}
+}

@@ -142,23 +142,23 @@ func TestDeterministic(t *testing.T) {
 }
 
 func TestIsLocalMax(t *testing.T) {
-	acc := [][]int32{
-		{1, 2, 3, 2, 1},
-		{1, 2, 9, 2, 1},
-		{1, 2, 3, 2, 1},
+	acc := []int32{
+		1, 2, 3, 2, 1,
+		1, 2, 9, 2, 1,
+		1, 2, 3, 2, 1,
 	}
-	if !isLocalMax(acc, 1, 2, 9) {
+	if !isLocalMax(acc, 3, 5, 1, 2, 9) {
 		t.Error("peak should be local max")
 	}
-	if isLocalMax(acc, 0, 2, 3) {
+	if isLocalMax(acc, 3, 5, 0, 2, 3) {
 		t.Error("shoulder should not be local max")
 	}
 	// Ties resolve toward the smaller index.
-	tie := [][]int32{{5, 5}}
-	if !isLocalMax(tie, 0, 0, 5) {
+	tie := []int32{5, 5}
+	if !isLocalMax(tie, 1, 2, 0, 0, 5) {
 		t.Error("first of tie should win")
 	}
-	if isLocalMax(tie, 0, 1, 5) {
+	if isLocalMax(tie, 1, 2, 0, 1, 5) {
 		t.Error("second of tie should lose")
 	}
 }

@@ -151,13 +151,6 @@ func (w *Writer) frame(p *trace.Packet) []byte {
 	return b
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // WriteTrace writes every packet of tr to w as a pcap file.
 func WriteTrace(w io.Writer, tr *trace.Trace) error {
 	pw, err := NewWriter(w, 0)
@@ -172,6 +165,23 @@ func WriteTrace(w io.Writer, tr *trace.Trace) error {
 	return nil
 }
 
+// WriteIndex writes every packet of ix to w as a pcap file, byte-identical
+// to WriteTrace over the trace the index was decoded from — the re-encode
+// half of the fused serving path, which never materializes a []Packet.
+func WriteIndex(w io.Writer, ix *trace.Index) error {
+	pw, err := NewWriter(w, 0)
+	if err != nil {
+		return err
+	}
+	for i, n := 0, ix.Len(); i < n; i++ {
+		p := ix.PacketAt(i)
+		if err := pw.WritePacket(&p); err != nil {
+			return fmt.Errorf("pcap: packet %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Reader decodes a classic pcap stream back into trace packets.
 type Reader struct {
 	r         io.Reader
@@ -179,6 +189,7 @@ type Reader struct {
 	nanos     bool
 	baseTS    int64 // second boundary of the first packet, absolute micros
 	haveBase  bool
+	hdrBuf    [recordHeaderLen]byte
 	recordBuf []byte
 }
 
@@ -223,7 +234,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 // does not leak into the relative timeline.
 func (r *Reader) Next() (trace.Packet, error) {
 	var p trace.Packet
-	hdr := make([]byte, recordHeaderLen)
+	hdr := r.hdrBuf[:]
 	if _, err := io.ReadFull(r.r, hdr); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return p, io.EOF
@@ -246,7 +257,9 @@ func (r *Reader) Next() (trace.Packet, error) {
 		return p, fmt.Errorf("pcap: implausible caplen %d", caplen)
 	}
 	if cap(r.recordBuf) < caplen {
-		r.recordBuf = make([]byte, caplen)
+		// Grow geometrically so a stream of slowly-increasing frame sizes
+		// reallocates O(log n) times, not per record.
+		r.recordBuf = make([]byte, max(caplen, 2*cap(r.recordBuf), 2048))
 	}
 	frame := r.recordBuf[:caplen]
 	if _, err := io.ReadFull(r.r, frame); err != nil {
@@ -327,4 +340,39 @@ func ReadTrace(r io.Reader) (*trace.Trace, error) {
 		tr.Append(p)
 	}
 	return tr, nil
+}
+
+// DecodeIndex consumes the whole stream straight into a columnar
+// trace.Index — the fused single-pass ingest path. No intermediate
+// []trace.Packet is materialized, and the index's buffers come from the
+// shared arena pool: call Index.Release when done to recycle them, which is
+// what makes steady-state serving allocate ~nothing per upload.
+//
+// The result is structurally identical to ReadTrace followed by
+// trace.BuildIndex at any worker count (the reference two-pass path, pinned
+// by differential and fuzz tests), with one deliberate exception: streams
+// whose rebased timestamps violate the sorted trace model are rejected with
+// trace.ErrUnsorted instead of being accepted as an unsorted Trace, because
+// the columns are final as they stream in.
+func DecodeIndex(r io.Reader) (*trace.Index, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	b := trace.NewIndexBuilder()
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Discard()
+			return nil, err
+		}
+		if err := b.Add(p); err != nil {
+			b.Discard()
+			return nil, err
+		}
+	}
+	return b.Finish(), nil
 }

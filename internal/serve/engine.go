@@ -102,19 +102,21 @@ func NewEngine(workers, depth int, timeout time.Duration, run func(ctx context.C
 
 // Enqueue admits a new job for the decoded trace, or returns the active
 // (queued/running) job already covering the same digest — an upload racing
-// an identical upload never computes twice. ErrQueueFull and ErrDraining
-// reject the admission.
-func (e *Engine) Enqueue(digest, traceName string, packets int, payload any) (*Job, error) {
+// an identical upload never computes twice. adopted reports whether the
+// engine took ownership of payload: false on the duplicate-digest path, so
+// a caller holding pooled resources knows to release its copy. ErrQueueFull
+// and ErrDraining reject the admission (adopted false).
+func (e *Engine) Enqueue(digest, traceName string, packets int, payload any) (j *Job, adopted bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.draining {
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 	if j, ok := e.byDigest[digest]; ok {
-		return j.snapshot(), nil
+		return j.snapshot(), false, nil
 	}
 	e.seq++
-	j := &Job{
+	j = &Job{
 		ID:         fmt.Sprintf("j-%d", e.seq),
 		Digest:     digest,
 		Trace:      traceName,
@@ -127,11 +129,11 @@ func (e *Engine) Enqueue(digest, traceName string, packets int, payload any) (*J
 	case e.queue <- j:
 	default:
 		e.seq--
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	e.jobs[j.ID] = j
 	e.byDigest[digest] = j
-	return j.snapshot(), nil
+	return j.snapshot(), true, nil
 }
 
 // Job returns a copy of the job's current state.

@@ -37,13 +37,16 @@ func TestEngineAdmissionControl(t *testing.T) {
 		return nil
 	})
 
-	j1, err := e.Enqueue("d1", "t1", 1, nil)
+	j1, adopted, err := e.Enqueue("d1", "t1", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !adopted {
+		t.Error("fresh enqueue should adopt the payload")
+	}
 	<-started // j1 is running, worker occupied
 
-	j2, err := e.Enqueue("d2", "t2", 1, nil)
+	j2, _, err := e.Enqueue("d2", "t2", 1, nil)
 	if err != nil {
 		t.Fatalf("second job should queue: %v", err)
 	}
@@ -52,17 +55,20 @@ func TestEngineAdmissionControl(t *testing.T) {
 	}
 
 	// The queue (depth 1) is full: admission control rejects.
-	if _, err := e.Enqueue("d3", "t3", 1, nil); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := e.Enqueue("d3", "t3", 1, nil); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow = %v, want ErrQueueFull", err)
 	}
 
 	// Re-enqueueing an active digest dedups onto the existing job.
-	dup, err := e.Enqueue("d2", "t2", 1, nil)
+	dup, adoptedDup, err := e.Enqueue("d2", "t2", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dup.ID != j2.ID {
 		t.Errorf("dedup returned %s, want %s", dup.ID, j2.ID)
+	}
+	if adoptedDup {
+		t.Error("duplicate digest must not adopt the payload")
 	}
 
 	close(release)
@@ -78,7 +84,7 @@ func TestEngineJobTimeout(t *testing.T) {
 		<-ctx.Done()
 		return ctx.Err()
 	})
-	j, err := e.Enqueue("d1", "t", 1, nil)
+	j, _, err := e.Enqueue("d1", "t", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,9 +107,9 @@ func TestEngineDrain(t *testing.T) {
 		<-release
 		return nil
 	})
-	j1, _ := e.Enqueue("d1", "t", 1, nil)
+	j1, _, _ := e.Enqueue("d1", "t", 1, nil)
 	<-started
-	j2, err := e.Enqueue("d2", "t", 1, nil) // sits in the queue
+	j2, _, err := e.Enqueue("d2", "t", 1, nil) // sits in the queue
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +120,7 @@ func TestEngineDrain(t *testing.T) {
 	for !e.Draining() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := e.Enqueue("d3", "t", 1, nil); !errors.Is(err, ErrDraining) {
+	if _, _, err := e.Enqueue("d3", "t", 1, nil); !errors.Is(err, ErrDraining) {
 		t.Fatalf("enqueue while draining = %v, want ErrDraining", err)
 	}
 
@@ -142,7 +148,7 @@ func TestEngineDrainDeadline(t *testing.T) {
 		<-release
 		return nil
 	})
-	if _, err := e.Enqueue("d1", "t", 1, nil); err != nil {
+	if _, _, err := e.Enqueue("d1", "t", 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	<-started

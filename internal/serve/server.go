@@ -235,15 +235,19 @@ func (s *Server) newPipeline() *mawilab.Pipeline {
 }
 
 // runJob is the engine's work function: run the unmodified batch pipeline
-// over the decoded trace, encode both wire formats, and persist the entry
-// atomically.
+// over the upload's columnar index, encode both wire formats, and persist
+// the entry atomically. The index came straight off the fused decode path
+// (no []Packet was ever materialized); its pooled buffers are released once
+// the entry is persisted, so steady-state serving recycles the same columns
+// upload after upload.
 func (s *Server) runJob(ctx context.Context, j *Job, payload any) error {
-	tr, ok := payload.(*mawilab.Trace)
-	if !ok || tr == nil {
-		return fmt.Errorf("serve: job %s has no trace payload", j.ID)
+	ix, ok := payload.(*mawilab.Index)
+	if !ok || ix == nil {
+		return fmt.Errorf("serve: job %s has no index payload", j.ID)
 	}
+	defer ix.Release()
 	p := s.newPipeline()
-	l, err := p.RunContext(ctx, tr)
+	l, err := p.RunIndex(ctx, ix)
 	if err != nil {
 		return err
 	}
@@ -251,14 +255,14 @@ func (s *Server) runJob(ctx context.Context, j *Job, payload any) error {
 	if err := l.WriteCSV(&csv); err != nil {
 		return err
 	}
-	if err := l.WriteADMD(&admd, j.Trace, tr); err != nil {
+	if err := wirev1.WriteADMD(&admd, j.Trace, ix, l.Reports); err != nil {
 		return err
 	}
 	sum := sha256.Sum256(csv.Bytes())
 	meta := &EntryMeta{
 		Digest:    j.Digest,
 		Trace:     j.Trace,
-		Packets:   tr.Len(),
+		Packets:   ix.Len(),
 		Alarms:    len(l.Alarms),
 		Anomalous: len(l.Anomalies()),
 		CSVSHA256: hex.EncodeToString(sum[:]),
@@ -285,7 +289,7 @@ func (s *Server) runJob(ctx context.Context, j *Job, payload any) error {
 	// survives a pcap round trip, so flow-level queries can rebuild the
 	// index from the stored bytes without the original upload.
 	var pcap bytes.Buffer
-	if err := mawilab.WritePcap(&pcap, tr); err != nil {
+	if err := mawilab.EncodePcap(&pcap, ix); err != nil {
 		return err
 	}
 	return s.store.Put(meta, csv.Bytes(), admd.Bytes(), pcap.Bytes())
@@ -300,27 +304,35 @@ type uploadResponse struct {
 	JobURL string `json:"job_url,omitempty"`
 }
 
-// admit runs the shared admission path for uploads and spool files: decode,
-// digest, cache-check, enqueue. The response captures the outcome; err is
-// an admission rejection (ErrQueueFull/ErrDraining) or a decode failure.
+// admit runs the shared admission path for uploads and spool files: fused
+// decode straight into a pooled columnar index, digest, cache-check,
+// enqueue. The response captures the outcome; err is an admission rejection
+// (ErrQueueFull/ErrDraining) or a decode failure. Whenever the engine does
+// not adopt the index — cache hit, rejection, duplicate digest — its pooled
+// buffers are released here, so every admission outcome recycles exactly
+// once.
 func (s *Server) admit(r io.Reader, name string) (*uploadResponse, error) {
 	start := time.Now()
-	tr, err := mawilab.ReadPcap(r)
+	ix, err := mawilab.DecodePcap(r)
 	if err != nil {
 		return nil, fmt.Errorf("decoding pcap: %w", err)
 	}
 	s.stageSeconds.With(string(mawilab.StageIngest)).Observe(time.Since(start).Seconds())
 	s.uploads.Inc()
-	tr.Name = name
-	digest := tr.Digest()
+	digest := ix.Digest()
 
 	if s.store.Has(digest) {
+		ix.Release()
 		s.cacheHits.Inc()
 		return &uploadResponse{Digest: digest, Cached: true, Labels: "/v1/labels/" + digest + ".csv"}, nil
 	}
-	j, err := s.engine.Enqueue(digest, name, tr.Len(), tr)
+	j, adopted, err := s.engine.Enqueue(digest, name, ix.Len(), ix)
 	if err != nil {
+		ix.Release()
 		return nil, err
+	}
+	if !adopted {
+		ix.Release()
 	}
 	s.cacheMisses.Inc()
 	return &uploadResponse{Digest: digest, JobID: j.ID, JobURL: "/v1/jobs/" + j.ID}, nil
@@ -482,11 +494,15 @@ func (s *Server) serveCommunityFlows(w http.ResponseWriter, digest string, commu
 		if err != nil {
 			return nil, err
 		}
-		tr, err := mawilab.ReadPcap(bytes.NewReader(data))
+		// Fused decode; the index is deliberately never Released: the cache
+		// shares its indexes with in-flight readers even after eviction, so
+		// evicted entries must stay valid and fall to the garbage collector
+		// instead of recycling buffers out from under a reader.
+		ix, err := mawilab.DecodePcap(bytes.NewReader(data))
 		if err != nil {
 			return nil, fmt.Errorf("serve: decoding stored trace for %s: %w", digest, err)
 		}
-		return trace.NewIndex(tr), nil
+		return ix, nil
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

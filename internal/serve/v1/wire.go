@@ -43,7 +43,6 @@ import (
 
 	"mawilab/internal/admd"
 	"mawilab/internal/core"
-	"mawilab/internal/trace"
 )
 
 // Version is the wire schema version this package encodes.
@@ -80,10 +79,11 @@ func WriteCSV(w io.Writer, reports []core.CommunityReport) error {
 }
 
 // WriteADMD emits the labeling reports as an admd XML document, the format
-// of the published MAWILab database. tr supplies the trace time bounds and
-// may be nil (time spans are then omitted).
-func WriteADMD(w io.Writer, traceName string, tr *trace.Trace, reports []core.CommunityReport) error {
-	return admd.Encode(w, traceName, tr, reports)
+// of the published MAWILab database. span supplies the trace time bounds —
+// a *trace.Trace or *trace.Index, whichever the caller holds — and may be
+// nil (time spans are then omitted; pass a nil interface, not a typed nil).
+func WriteADMD(w io.Writer, traceName string, span admd.TimeSpan, reports []core.CommunityReport) error {
+	return admd.Encode(w, traceName, span, reports)
 }
 
 // BestRule returns the community's best-rule 4-tuple exactly as the CSV

@@ -31,19 +31,23 @@ func New(bins int, seed uint64) *Sketch {
 	return &Sketch{Bins: bins, Seed: seed}
 }
 
-// Bin returns the bucket of ip in [0, Bins).
+// Bin returns the bucket of ip in [0, Bins). Power-of-two bin counts — every
+// detector in the repo uses one — take a mask instead of the integer
+// division, which matters in the detectors' per-packet rasterization loops;
+// the two forms are value-identical (h % 2^k == h & (2^k - 1)).
 func (s *Sketch) Bin(ip trace.IPv4) int {
-	return int(Mix64(uint64(ip)^s.Seed) % uint64(s.Bins))
+	h := Mix64(uint64(ip) ^ s.Seed)
+	if b := uint64(s.Bins); b&(b-1) == 0 {
+		return int(h & (b - 1))
+	}
+	return int(h % uint64(s.Bins))
 }
 
 // Mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit mixer
-// used as the universal hash behind every sketch.
-func Mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// used as the universal hash behind every sketch. It is shared with the
+// trace package's fused index builder, which owns the implementation
+// (sketch depends on trace, never the reverse).
+func Mix64(x uint64) uint64 { return trace.Mix64(x) }
 
 // Group collects, for one sketch, the set of addresses that fell into each
 // bin — used to translate "bin b is anomalous" back into candidate hosts.

@@ -1,0 +1,488 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrUnsorted rejects packets that violate the sorted trace model during a
+// fused index build: a timestamp smaller than its predecessor's, or a
+// negative timestamp. Streaming builders cannot re-sort — the columns are
+// final the moment a packet is appended — so violations are errors, exactly
+// as in SegmentWriter.Append. Match with errors.Is.
+var ErrUnsorted = errors.New("trace: packets violate the sorted trace model")
+
+// errFinished rejects use of a builder after Finish or Discard.
+var errFinished = errors.New("trace: index builder already finished")
+
+// Mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit mixer.
+// It is the universal hash behind every sketch (internal/sketch re-exports
+// it) and the fused builder's flow table.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// flowHash mixes a flow key for the builder's open-addressing table. The
+// hash only steers probe order — flow ids are assigned in first-seen order
+// and canonicalized by sort at Finish — so determinism never depends on it.
+func flowHash(k FlowKey) uint64 {
+	hi := uint64(uint32(k.Src))<<32 | uint64(uint32(k.Dst))
+	lo := uint64(k.SrcPort)<<24 | uint64(k.DstPort)<<8 | uint64(k.Proto)
+	return Mix64(hi) ^ Mix64(lo+0x9e3779b97f4a7c15)
+}
+
+// indexArena is the reusable backing storage of one fused index build: the
+// nine packet columns, the flow table and its construction scratch, the
+// posting slabs and maps, and the time buckets. Arenas cycle through
+// arenaPool so a steady-state server decodes day after day into the same
+// buffers — Index.Release returns them.
+type indexArena struct {
+	// Packet columns.
+	ts      []int64
+	seconds []float64
+	src     []IPv4
+	dst     []IPv4
+	srcPort []uint16
+	dstPort []uint16
+	pktLen  []uint16
+	proto   []Proto
+	flags   []TCPFlags
+
+	// Flow table and construction scratch.
+	keys    []FlowKey // first-seen order
+	slots   []int32   // open-addressing table over keys, -1 empty
+	flowSeq []int32   // per-packet provisional (first-seen) flow id
+	order   []int32   // canonical sort permutation of provisional ids
+	rank    []int32   // provisional id → canonical id
+	counts  []int32   // per-provisional-id packet counts
+	cursor  []int32   // per-canonical-id write cursor into flowPkts
+
+	// Finished index storage.
+	flows    []FlowKey
+	flowOff  []int32
+	flowPkts []int32
+	flowOf   []int32
+	bucketLo []int32
+
+	// Posting lists: per-key counts, one slab of flow ids per map, and the
+	// maps themselves (values are slab subslices, so a whole index's
+	// postings cost three allocations at most).
+	srcCnt    map[IPv4]int32
+	dstCnt    map[IPv4]int32
+	portCnt   map[uint16]int32
+	postSrc   []int32
+	postDst   []int32
+	postPort  []int32
+	bySrc     map[IPv4][]int32
+	byDst     map[IPv4][]int32
+	byDstPort map[uint16][]int32
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(indexArena) }}
+
+// reset readies a pooled arena for the next build: every slice keeps its
+// capacity at length zero and every map keeps its buckets empty.
+func (a *indexArena) reset() {
+	a.ts = a.ts[:0]
+	a.seconds = a.seconds[:0]
+	a.src = a.src[:0]
+	a.dst = a.dst[:0]
+	a.srcPort = a.srcPort[:0]
+	a.dstPort = a.dstPort[:0]
+	a.pktLen = a.pktLen[:0]
+	a.proto = a.proto[:0]
+	a.flags = a.flags[:0]
+	a.keys = a.keys[:0]
+	a.slots = a.slots[:0]
+	a.flowSeq = a.flowSeq[:0]
+	if a.srcCnt == nil {
+		a.srcCnt = make(map[IPv4]int32)
+		a.dstCnt = make(map[IPv4]int32)
+		a.portCnt = make(map[uint16]int32)
+		a.bySrc = make(map[IPv4][]int32)
+		a.byDst = make(map[IPv4][]int32)
+		a.byDstPort = make(map[uint16][]int32)
+		return
+	}
+	clear(a.srcCnt)
+	clear(a.dstCnt)
+	clear(a.portCnt)
+	clear(a.bySrc)
+	clear(a.byDst)
+	clear(a.byDstPort)
+}
+
+// resize32 returns s grown (or shrunk) to length n, reusing capacity.
+func resize32(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	} else {
+		*s = (*s)[:n]
+	}
+	return *s
+}
+
+// IndexBuilder streams packets straight into the columnar Index — the fused
+// single-pass ingest path. Add appends one packet to the SoA columns and the
+// incremental flow table; Finish canonicalizes flow order, lays out the
+// packet runs, posting lists and time buckets, and seals the Index. No
+// intermediate []Packet is ever materialized, and a pooled builder
+// (NewIndexBuilder) draws every buffer from a recycled arena, so the
+// steady-state serving path allocates almost nothing per trace.
+//
+// The result is structurally identical to ReadTrace+BuildIndex — the
+// two-pass reference path, which stays pinned by differential tests at every
+// worker count — and bitwise-independent of scheduling (the builder is
+// purely sequential).
+//
+// Packets must arrive in non-decreasing timestamp order with non-negative
+// timestamps; Add rejects violations with ErrUnsorted. Abandon a partial
+// build with Discard.
+type IndexBuilder struct {
+	a        *indexArena
+	pooled   bool
+	lastTS   int64
+	finished bool
+}
+
+// NewIndexBuilder returns a pooled builder: its buffers come from the shared
+// arena pool and return to it when the finished Index is Released. Callers
+// that cannot bound the index's lifetime should leave Release uncalled — the
+// buffers are then ordinarily garbage collected.
+func NewIndexBuilder() *IndexBuilder {
+	a := arenaPool.Get().(*indexArena)
+	a.reset()
+	return &IndexBuilder{a: a, pooled: true, lastTS: -1}
+}
+
+// newDetachedBuilder returns a builder whose finished index owns its buffers
+// outright (Release is a no-op): the segment-sealing path hands indexes to
+// window consumers of unknown lifetime, so recycling would be unsound.
+func newDetachedBuilder() *IndexBuilder {
+	a := new(indexArena)
+	a.reset()
+	return &IndexBuilder{a: a, lastTS: -1}
+}
+
+// Len returns the number of packets added so far.
+func (b *IndexBuilder) Len() int {
+	if b.a == nil {
+		return 0
+	}
+	return len(b.a.ts)
+}
+
+// Add appends one packet to the index under construction.
+func (b *IndexBuilder) Add(p Packet) error {
+	if b.finished {
+		return errFinished
+	}
+	if p.TS < 0 {
+		return fmt.Errorf("%w: negative timestamp %d", ErrUnsorted, p.TS)
+	}
+	if p.TS < b.lastTS {
+		return fmt.Errorf("%w: timestamp %d after %d", ErrUnsorted, p.TS, b.lastTS)
+	}
+	b.lastTS = p.TS
+	a := b.a
+	a.ts = append(a.ts, p.TS)
+	a.seconds = append(a.seconds, p.Seconds())
+	a.src = append(a.src, p.Src)
+	a.dst = append(a.dst, p.Dst)
+	a.srcPort = append(a.srcPort, p.SrcPort)
+	a.dstPort = append(a.dstPort, p.DstPort)
+	a.pktLen = append(a.pktLen, p.Len)
+	a.proto = append(a.proto, p.Proto)
+	a.flags = append(a.flags, p.Flags)
+	a.flowSeq = append(a.flowSeq, b.flowID(p.Flow()))
+	return nil
+}
+
+// flowID interns k in the open-addressing flow table, assigning provisional
+// ids in first-seen order.
+func (b *IndexBuilder) flowID(k FlowKey) int32 {
+	a := b.a
+	if len(a.keys)*4 >= len(a.slots)*3 {
+		b.growSlots()
+	}
+	mask := uint64(len(a.slots) - 1)
+	i := flowHash(k) & mask
+	for {
+		s := a.slots[i]
+		if s < 0 {
+			id := int32(len(a.keys))
+			a.keys = append(a.keys, k)
+			a.slots[i] = id
+			return id
+		}
+		if a.keys[s] == k {
+			return s
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// growSlots doubles the table (power of two, load factor <= 3/4) and
+// rehashes the interned keys.
+func (b *IndexBuilder) growSlots() {
+	a := b.a
+	n := len(a.slots) * 2
+	if n < 512 {
+		n = 512
+	}
+	a.slots = resize32(&a.slots, n)
+	for i := range a.slots {
+		a.slots[i] = -1
+	}
+	mask := uint64(n - 1)
+	for id, k := range a.keys {
+		i := flowHash(k) & mask
+		for a.slots[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		a.slots[i] = int32(id)
+	}
+}
+
+// Discard abandons the build, recycling a pooled builder's arena. The
+// builder rejects further use.
+func (b *IndexBuilder) Discard() {
+	if b.a == nil {
+		return
+	}
+	if b.pooled {
+		arenaPool.Put(b.a)
+	}
+	b.a = nil
+	b.finished = true
+}
+
+// Finish seals the index: flows are canonicalized into the sorted table,
+// packet runs, posting lists and time buckets are laid out, and the columns
+// become immutable. The builder rejects further use. A pooled builder's
+// Index holds its arena until Index.Release returns it for reuse.
+func (b *IndexBuilder) Finish() *Index {
+	return b.finish(nil)
+}
+
+// finish implements Finish; tr, when non-nil, is attached as the index's
+// backing trace (the segment-sealing path keeps its materialized packets).
+func (b *IndexBuilder) finish(tr *Trace) *Index {
+	a := b.a
+	n := len(a.ts)
+	nf := len(a.keys)
+
+	// Canonical flow order: sort the provisional ids by key, then rank maps
+	// provisional → canonical. This is the counting-sort analogue of the
+	// reference path's map-collect-then-sort.
+	order := resize32(&a.order, nf)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return flowLess(a.keys[order[i]], a.keys[order[j]]) })
+	rank := resize32(&a.rank, nf)
+	for ci, pid := range order {
+		rank[pid] = int32(ci)
+	}
+	a.flows = a.flows[:0]
+	for _, pid := range order {
+		a.flows = append(a.flows, a.keys[pid])
+	}
+
+	// Packet runs: counting sort over the per-packet provisional ids. Each
+	// flow's run fills in ascending packet order because the single fill
+	// pass walks packets in order — the same ascending-run invariant the
+	// reference path gets from per-range merges in slot order.
+	counts := resize32(&a.counts, nf)
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, pid := range a.flowSeq {
+		counts[pid]++
+	}
+	flowOff := resize32(&a.flowOff, nf+1)
+	flowOff[0] = 0
+	for ci, pid := range order {
+		flowOff[ci+1] = flowOff[ci] + counts[pid]
+	}
+	cursor := resize32(&a.cursor, nf)
+	copy(cursor, flowOff[:nf])
+	flowPkts := resize32(&a.flowPkts, n)
+	flowOf := resize32(&a.flowOf, n)
+	for i, pid := range a.flowSeq {
+		ci := rank[pid]
+		flowPkts[cursor[ci]] = int32(i)
+		cursor[ci]++
+		flowOf[i] = ci
+	}
+
+	// Posting lists: count per key, then carve each key's value slice out
+	// of one shared slab and fill in canonical flow order, so every list is
+	// ascending and the whole structure costs three slab (re)uses.
+	clear(a.srcCnt)
+	clear(a.dstCnt)
+	clear(a.portCnt)
+	for i := range a.flows {
+		k := &a.flows[i]
+		a.srcCnt[k.Src]++
+		a.dstCnt[k.Dst]++
+		a.portCnt[k.DstPort]++
+	}
+	postSrc := resize32(&a.postSrc, nf)
+	postDst := resize32(&a.postDst, nf)
+	postPort := resize32(&a.postPort, nf)
+	clear(a.bySrc)
+	clear(a.byDst)
+	clear(a.byDstPort)
+	curS, curD, curP := 0, 0, 0
+	for fi := range a.flows {
+		k := &a.flows[fi]
+		s, ok := a.bySrc[k.Src]
+		if !ok {
+			c := int(a.srcCnt[k.Src])
+			s = postSrc[curS : curS : curS+c]
+			curS += c
+		}
+		a.bySrc[k.Src] = append(s, int32(fi))
+		d, ok := a.byDst[k.Dst]
+		if !ok {
+			c := int(a.dstCnt[k.Dst])
+			d = postDst[curD : curD : curD+c]
+			curD += c
+		}
+		a.byDst[k.Dst] = append(d, int32(fi))
+		p, ok := a.byDstPort[k.DstPort]
+		if !ok {
+			c := int(a.portCnt[k.DstPort])
+			p = postPort[curP : curP : curP+c]
+			curP += c
+		}
+		a.byDstPort[k.DstPort] = append(p, int32(fi))
+	}
+
+	// Time buckets, exactly as the reference path lays them out.
+	nb := 0
+	if n > 0 {
+		nb = int(a.ts[n-1]/bucketTS) + 1
+	}
+	bucketLo := resize32(&a.bucketLo, nb+1)
+	pi := 0
+	for bkt := 0; bkt <= nb; bkt++ {
+		for pi < n && a.ts[pi] < int64(bkt)*bucketTS {
+			pi++
+		}
+		bucketLo[bkt] = int32(pi)
+	}
+
+	ix := &Index{
+		tr:        tr,
+		TS:        a.ts,
+		Seconds:   a.seconds,
+		Src:       a.src,
+		Dst:       a.dst,
+		SrcPort:   a.srcPort,
+		DstPort:   a.dstPort,
+		PktLen:    a.pktLen,
+		Proto:     a.proto,
+		Flags:     a.flags,
+		flows:     a.flows,
+		flowOff:   flowOff,
+		flowPkts:  flowPkts,
+		flowOf:    flowOf,
+		bySrc:     a.bySrc,
+		byDst:     a.byDst,
+		byDstPort: a.byDstPort,
+		bucketLo:  bucketLo,
+	}
+	if b.pooled {
+		ix.arena = a
+	}
+	b.a = nil
+	b.finished = true
+	return ix
+}
+
+// Release returns a pooled index's buffers to the arena pool for the next
+// build and is a no-op on indexes built by the reference path or the
+// segment sealer. Only the owner may call it, and only once no other
+// reference to the index (or any slice it exposed) remains: the columns are
+// cleared to fail fast, but the recycled backing arrays will be overwritten
+// by a later build. The serving job path releases after the labeling is
+// persisted; the per-digest query cache never releases (cached indexes are
+// shared with in-flight readers).
+func (ix *Index) Release() {
+	a := ix.arena
+	if a == nil {
+		return
+	}
+	ix.arena = nil
+	ix.tr = nil
+	ix.TS, ix.Seconds = nil, nil
+	ix.Src, ix.Dst = nil, nil
+	ix.SrcPort, ix.DstPort, ix.PktLen = nil, nil, nil
+	ix.Proto, ix.Flags = nil, nil
+	ix.flows, ix.flowOff, ix.flowPkts, ix.flowOf = nil, nil, nil, nil
+	ix.bySrc, ix.byDst, ix.byDstPort = nil, nil, nil
+	ix.bucketLo = nil
+	arenaPool.Put(a)
+}
+
+// EqualIndexes reports whether two indexes are structurally identical:
+// same columns, canonical flow table, packet runs, posting lists and time
+// buckets. Nil and empty slices compare equal — the reference path
+// pre-sizes, the fused path appends. It backs the differential tests that
+// pin the fused builder to the two-pass reference, and the per-segment
+// seal-vs-rebuild checks.
+func EqualIndexes(a, b *Index) bool {
+	if a.Len() != b.Len() || len(a.flows) != len(b.flows) {
+		return false
+	}
+	for i := range a.TS {
+		if a.TS[i] != b.TS[i] || a.Seconds[i] != b.Seconds[i] ||
+			a.Src[i] != b.Src[i] || a.Dst[i] != b.Dst[i] ||
+			a.SrcPort[i] != b.SrcPort[i] || a.DstPort[i] != b.DstPort[i] ||
+			a.PktLen[i] != b.PktLen[i] || a.Proto[i] != b.Proto[i] ||
+			a.Flags[i] != b.Flags[i] ||
+			a.flowOf[i] != b.flowOf[i] || a.flowPkts[i] != b.flowPkts[i] {
+			return false
+		}
+	}
+	for i := range a.flows {
+		if a.flows[i] != b.flows[i] || a.flowOff[i+1] != b.flowOff[i+1] {
+			return false
+		}
+	}
+	if len(a.bucketLo) != len(b.bucketLo) {
+		return false
+	}
+	for i := range a.bucketLo {
+		if a.bucketLo[i] != b.bucketLo[i] {
+			return false
+		}
+	}
+	return equalPostings(a.bySrc, b.bySrc) && equalPostings(a.byDst, b.byDst) && equalPostings(a.byDstPort, b.byDstPort)
+}
+
+// equalPostings compares two posting maps key by key.
+func equalPostings[K comparable](a, b map[K][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildFused feeds every packet of tr through a pooled IndexBuilder.
+func buildFused(t *testing.T, tr *Trace) *Index {
+	t.Helper()
+	b := NewIndexBuilder()
+	for _, p := range tr.Packets {
+		if err := b.Add(p); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return b.Finish()
+}
+
+// TestBuilderMatchesReference pins the fused single-pass builder to the
+// two-pass reference at every worker count: identical structures
+// (EqualIndexes over columns, flows, runs, postings, buckets) and an
+// identical content digest, which must also equal the source trace's digest.
+func TestBuilderMatchesReference(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 37, 4000} {
+		tr := indexTestTrace(int64(100+n), n)
+		fused := buildFused(t, tr)
+		for _, workers := range []int{1, 2, 4, 8} {
+			ref, err := BuildIndex(context.Background(), tr, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !EqualIndexes(fused, ref) {
+				t.Fatalf("n=%d workers=%d: fused index differs from reference", n, workers)
+			}
+			if fused.Digest() != ref.Digest() {
+				t.Fatalf("n=%d workers=%d: digest mismatch", n, workers)
+			}
+		}
+		if fused.Digest() != tr.Digest() {
+			t.Fatalf("n=%d: index digest %s != trace digest %s", n, fused.Digest(), tr.Digest())
+		}
+		fused.Release()
+	}
+}
+
+// TestBuilderPoolReuse runs many sequential pooled builds over distinct
+// traces, releasing each index back to the arena pool, and checks every
+// build against the reference — buffer reuse must never leak one trace's
+// contents into the next index.
+func TestBuilderPoolReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 12; round++ {
+		// Vary the size sharply so reuse exercises both growth and shrink.
+		n := []int{3000, 10, 700, 1}[round%4] + rng.Intn(50)
+		tr := indexTestTrace(int64(round), n)
+		fused := buildFused(t, tr)
+		ref := NewIndex(tr)
+		if !EqualIndexes(fused, ref) {
+			t.Fatalf("round %d (n=%d): pooled rebuild differs from reference", round, n)
+		}
+		if got, want := fused.Digest(), tr.Digest(); got != want {
+			t.Fatalf("round %d: digest %s != %s", round, got, want)
+		}
+		fused.Release()
+		fused.Release() // idempotent
+	}
+}
+
+// TestBuilderRejectsUnsortedInput covers the fused path's one deliberate
+// behavioral difference from the reference: the sorted trace model is
+// enforced at Add time.
+func TestBuilderRejectsUnsortedInput(t *testing.T) {
+	b := NewIndexBuilder()
+	if err := b.Add(Packet{TS: -1}); !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("negative timestamp: got %v, want ErrUnsorted", err)
+	}
+	b.Discard()
+
+	b = NewIndexBuilder()
+	if err := b.Add(Packet{TS: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Packet{TS: 99}); !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("out-of-order timestamp: got %v, want ErrUnsorted", err)
+	}
+	b.Discard()
+
+	// Equal timestamps are in order — the trace model sorts on TS only.
+	b = NewIndexBuilder()
+	if err := b.Add(Packet{TS: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Packet{TS: 5}); err != nil {
+		t.Fatal(err)
+	}
+	b.Finish().Release()
+}
+
+// TestBuilderAddAfterFinish pins the terminal-state errors.
+func TestBuilderAddAfterFinish(t *testing.T) {
+	b := NewIndexBuilder()
+	if err := b.Add(Packet{TS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ix := b.Finish()
+	defer ix.Release()
+	if err := b.Add(Packet{TS: 2}); err == nil {
+		t.Fatal("Add after Finish must fail")
+	}
+
+	d := NewIndexBuilder()
+	d.Discard()
+	if err := d.Add(Packet{TS: 1}); err == nil {
+		t.Fatal("Add after Discard must fail")
+	}
+}
+
+// TestReleaseFailsFast ensures a released index cannot quietly serve stale
+// data: every column is nil'd, so use-after-release panics instead of
+// returning another trace's packets.
+func TestReleaseFailsFast(t *testing.T) {
+	tr := indexTestTrace(9, 50)
+	ix := buildFused(t, tr)
+	ix.Release()
+	if ix.TS != nil || ix.Src != nil || ix.Dst != nil {
+		t.Fatal("columns must be nil after Release")
+	}
+	if ix.Len() != 0 {
+		t.Fatal("released index must report zero length")
+	}
+}
+
+// TestDetachedBuilderDeepEqual: the detached (segment-sealing) build must be
+// DeepEqual-identical to the reference — not just EqualIndexes — because the
+// segment tests compare sealed indexes with reflect.DeepEqual.
+func TestDetachedBuilderDeepEqual(t *testing.T) {
+	tr := indexTestTrace(11, 600)
+	b := newDetachedBuilder()
+	for _, p := range tr.Packets {
+		if err := b.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := b.finish(tr)
+	if !reflect.DeepEqual(ix, NewIndex(tr)) {
+		t.Fatal("detached fused build not DeepEqual to reference")
+	}
+	if ix.arena != nil {
+		t.Fatal("detached build must not hold a pooled arena")
+	}
+}
+
+// TestIndexDigestMatchesTrace locks the Index.Digest record layout to
+// Trace.Digest on a trace with every column exercised.
+func TestIndexDigestMatchesTrace(t *testing.T) {
+	tr := indexTestTrace(13, 257)
+	if got, want := NewIndex(tr).Digest(), tr.Digest(); got != want {
+		t.Fatalf("Index.Digest %s != Trace.Digest %s", got, want)
+	}
+}

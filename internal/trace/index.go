@@ -2,6 +2,9 @@ package trace
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"sort"
 
 	"mawilab/internal/parallel"
@@ -60,6 +63,11 @@ type Index struct {
 	// final entry is the packet count. Requires non-negative, sorted
 	// timestamps (the trace model).
 	bucketLo []int32
+
+	// arena, when non-nil, is the pooled backing storage of a fused
+	// IndexBuilder build; Release returns it for reuse. Reference-path and
+	// detached builds leave it nil.
+	arena *indexArena
 }
 
 // NewIndex builds the index sequentially — the reference path. It is the
@@ -209,8 +217,42 @@ func (ix *Index) Duration() float64 {
 }
 
 // PacketAt returns the full packet record at index i, for consumers that
-// need the row form (e.g. rule-mining transactions) rather than columns.
-func (ix *Index) PacketAt(i int) *Packet { return &ix.tr.Packets[i] }
+// need the row form (e.g. rule-mining transactions) rather than columns. The
+// row is synthesized from the columns, so it works on fused-built indexes
+// that never materialized a []Packet.
+func (ix *Index) PacketAt(i int) Packet {
+	return Packet{
+		TS:      ix.TS[i],
+		Src:     ix.Src[i],
+		Dst:     ix.Dst[i],
+		SrcPort: ix.SrcPort[i],
+		DstPort: ix.DstPort[i],
+		Len:     ix.PktLen[i],
+		Proto:   ix.Proto[i],
+		Flags:   ix.Flags[i],
+	}
+}
+
+// Digest returns the index's canonical content digest — hex sha256 over the
+// packet columns in the exact fixed-width record layout of Trace.Digest, so
+// a fused-built index and the trace it decoded from always agree. The serve
+// path keys its label store and dedup on it.
+func (ix *Index) Digest() string {
+	h := sha256.New()
+	var buf [24]byte
+	for i := range ix.TS {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(ix.TS[i]))
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(ix.Src[i]))
+		binary.LittleEndian.PutUint32(buf[12:16], uint32(ix.Dst[i]))
+		binary.LittleEndian.PutUint16(buf[16:18], ix.SrcPort[i])
+		binary.LittleEndian.PutUint16(buf[18:20], ix.DstPort[i])
+		binary.LittleEndian.PutUint16(buf[20:22], ix.PktLen[i])
+		buf[22] = byte(ix.Proto[i])
+		buf[23] = byte(ix.Flags[i])
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Flows returns the number of distinct unidirectional flows.
 func (ix *Index) Flows() int { return len(ix.flows) }

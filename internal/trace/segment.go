@@ -31,8 +31,18 @@ type Segment struct {
 	Index *Index
 }
 
-// Len returns the number of packets in the segment.
-func (s *Segment) Len() int { return s.Trace.Len() }
+// Len returns the number of packets in the segment. Index-only segments
+// (the fused serving path wraps a built Index with no materialized Trace)
+// report their index's length.
+func (s *Segment) Len() int {
+	if s.Trace == nil {
+		if s.Index == nil {
+			return 0
+		}
+		return s.Index.Len()
+	}
+	return s.Trace.Len()
+}
 
 // String renders a short summary.
 func (s *Segment) String() string {
@@ -53,16 +63,18 @@ var ErrSegmentWriterClosed = errors.New("trace: segment writer is closed")
 // because re-sorting inside a writer would make sealing depend on arrival
 // batching.
 //
-// Sealing builds the segment's Index with up to `workers` goroutines on the
-// shared pool; like every pipeline stage, the result is bitwise-identical at
-// every worker count.
+// The segment's Index is built incrementally by a fused IndexBuilder fed on
+// every Append, so sealing only canonicalizes — no second pass over the
+// packets. The result is structurally identical to BuildIndex over the
+// sealed trace at every worker count (pinned by the seal-vs-rebuild tests),
+// so the streaming path keeps the repo-wide determinism contract.
 type SegmentWriter struct {
-	ctx     context.Context
-	stepUS  int64 // segment length in microseconds; 0 = one unbounded segment
-	workers int
+	ctx    context.Context
+	stepUS int64 // segment length in microseconds; 0 = one unbounded segment
 
 	cur    *Trace
-	bucket int64 // grid ordinal of the open segment
+	b      *IndexBuilder // fused column build of the open segment
+	bucket int64         // grid ordinal of the open segment
 	lastTS int64
 	seq    int
 	closed bool
@@ -71,7 +83,11 @@ type SegmentWriter struct {
 // NewSegmentWriter returns a writer sealing segments of the given length in
 // seconds. seconds <= 0 selects the canonical batch boundary: one unbounded
 // segment, sealed only by Close — the chop Run/RunContext replay through.
+// workers is accepted for call-site compatibility but unused: the fused
+// per-Append build replaced the seal-time BuildIndex pass, and it is
+// sequential by construction (hence trivially deterministic).
 func NewSegmentWriter(ctx context.Context, seconds float64, workers int) *SegmentWriter {
+	_ = workers
 	stepUS := int64(0)
 	if seconds > 0 {
 		stepUS = int64(math.Round(seconds * 1e6))
@@ -79,7 +95,7 @@ func NewSegmentWriter(ctx context.Context, seconds float64, workers int) *Segmen
 			stepUS = 1
 		}
 	}
-	return &SegmentWriter{ctx: ctx, stepUS: stepUS, workers: workers, lastTS: -1}
+	return &SegmentWriter{ctx: ctx, stepUS: stepUS, lastTS: -1}
 }
 
 // Append adds one packet to the stream. When p crosses the open segment's
@@ -110,9 +126,16 @@ func (w *SegmentWriter) Append(p Packet) (*Segment, error) {
 	}
 	if w.cur == nil {
 		w.cur = &Trace{Name: fmt.Sprintf("segment-%d", w.seq)}
+		// Detached, not pooled: sealed segments flow to window consumers of
+		// unknown lifetime, so their index buffers are never recycled.
+		w.b = newDetachedBuilder()
 		w.bucket = bucket
 	}
 	w.cur.Append(p)
+	if err := w.b.Add(p); err != nil {
+		// Unreachable: the ordering checks above are the builder's own.
+		return nil, err
+	}
 	return sealed, nil
 }
 
@@ -129,12 +152,16 @@ func (w *SegmentWriter) Close() (*Segment, error) {
 	return w.seal()
 }
 
-// seal builds the open segment's index and hands the segment off.
+// seal finalizes the open segment's incrementally-built index and hands the
+// segment off. The context check preserves the cancellation semantics the
+// pooled BuildIndex used to provide at seal time.
 func (w *SegmentWriter) seal() (*Segment, error) {
-	ix, err := BuildIndex(w.ctx, w.cur, w.workers)
-	if err != nil {
+	if err := w.ctx.Err(); err != nil {
+		w.b.Discard()
+		w.cur, w.b = nil, nil
 		return nil, err
 	}
+	ix := w.b.finish(w.cur)
 	start, end := 0.0, math.Inf(1)
 	if w.stepUS > 0 {
 		start = float64(w.bucket) * float64(w.stepUS) / 1e6
@@ -142,7 +169,7 @@ func (w *SegmentWriter) seal() (*Segment, error) {
 	}
 	seg := &Segment{Seq: w.seq, Start: start, End: end, Trace: w.cur, Index: ix}
 	w.seq++
-	w.cur = nil
+	w.cur, w.b = nil, nil
 	return seg, nil
 }
 

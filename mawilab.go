@@ -57,6 +57,7 @@ import (
 	"runtime"
 	"time"
 
+	"mawilab/internal/admd"
 	"mawilab/internal/core"
 	"mawilab/internal/detectors"
 	"mawilab/internal/detectors/suite"
@@ -80,6 +81,11 @@ type (
 	Filter = trace.Filter
 	// Granularity selects packet/uniflow/biflow traffic comparison.
 	Granularity = trace.Granularity
+	// Index is the immutable columnar view of a sorted trace — SoA packet
+	// columns, canonical flow table, posting lists and time buckets. The
+	// fused ingest path (DecodePcap) builds one straight from a pcap
+	// stream with no intermediate Trace.
+	Index = trace.Index
 	// Segment is one sealed, immutable span of a packet stream with its
 	// own columnar index — the unit of the streaming pipeline.
 	Segment = trace.Segment
@@ -156,6 +162,19 @@ func ReadPcap(r io.Reader) (*Trace, error) { return pcap.ReadTrace(r) }
 
 // WritePcap serializes a Trace as a classic pcap stream.
 func WritePcap(w io.Writer, tr *Trace) error { return pcap.WriteTrace(w, tr) }
+
+// DecodePcap decodes a classic pcap stream straight into a columnar Index —
+// the fused single-pass ingest path, with no intermediate Trace and pooled
+// column buffers (call Index.Release when done to recycle them). It is
+// structurally identical to ReadPcap followed by index construction, except
+// that streams violating the sorted trace model are rejected with
+// trace.ErrUnsorted. The daemon's upload path runs on it; see the README's
+// "Raw speed" section for the ownership rules.
+func DecodePcap(r io.Reader) (*Index, error) { return pcap.DecodeIndex(r) }
+
+// EncodePcap serializes an Index as a classic pcap stream, byte-identical
+// to WritePcap over the trace the index was decoded from.
+func EncodePcap(w io.Writer, ix *Index) error { return pcap.WriteIndex(w, ix) }
 
 // Segments chops an in-order packet stream into sealed trace segments of the
 // given length in seconds (<= 0 selects the canonical batch boundary: one
@@ -401,6 +420,24 @@ func (p *Pipeline) RunContext(ctx context.Context, tr *Trace) (*Labeling, error)
 	if err != nil {
 		return nil, err
 	}
+	return p.runSealed(ctx, seg)
+}
+
+// RunIndex executes the pipeline over a pre-built columnar index — the
+// zero-copy serving path: the daemon decodes each upload straight into an
+// Index (DecodePcap) and labels it here, so no []Packet is ever
+// materialized. The labeling is byte-identical to Run over the trace the
+// index was decoded from (same engine, same canonical one-segment window).
+// The caller keeps ownership of ix: release it, if pooled, only after the
+// labeling and anything derived from ix are no longer in use.
+func (p *Pipeline) RunIndex(ctx context.Context, ix *Index) (*Labeling, error) {
+	return p.runSealed(ctx, &Segment{Start: 0, End: math.Inf(1), Trace: ix.Trace(), Index: ix})
+}
+
+// runSealed replays one pre-sealed canonical segment through the streaming
+// engine as a single one-segment window — the shared tail of RunContext and
+// RunIndex.
+func (p *Pipeline) runSealed(ctx context.Context, seg *Segment) (*Labeling, error) {
 	var out *Labeling
 	if err := p.runSegments(ctx, oneSegment(seg), 1, 1, func(w *WindowLabeling) error {
 		out = w.Labeling
@@ -688,10 +725,16 @@ func (l *Labeling) WriteCSV(w io.Writer) error {
 }
 
 // WriteADMD emits the labeling as an admd XML document, the format of the
-// published MAWILab database. tr supplies the trace time bounds. Like
-// WriteCSV it encodes through the shared v1 wire schema.
+// published MAWILab database. tr supplies the trace time bounds and may be
+// nil. Like WriteCSV it encodes through the shared v1 wire schema.
 func (l *Labeling) WriteADMD(w io.Writer, traceName string, tr *Trace) error {
-	return wirev1.WriteADMD(w, traceName, tr, l.Reports)
+	var span admd.TimeSpan
+	if tr != nil {
+		// A typed-nil *Trace inside the interface would defeat the encoder's
+		// nil check; only a non-nil trace becomes a span.
+		span = tr
+	}
+	return wirev1.WriteADMD(w, traceName, span, l.Reports)
 }
 
 // GroundTruthEval scores a labeling against generator ground truth: an
